@@ -1,0 +1,306 @@
+// Package ansor is the public API of this Ansor reproduction: an
+// auto-scheduler that generates high-performance tensor programs for deep
+// learning computations (Zheng et al., OSDI 2020).
+//
+// The typical flow mirrors Figure 4 of the paper:
+//
+//	dag   := ansor.NewComputeBuilder("matmul").…   // define the computation
+//	task  := ansor.NewTask("matmul", dag, ansor.TargetIntelCPU())
+//	tuner := ansor.NewTuner(task, ansor.TuningOptions{Trials: 1000})
+//	best, err := tuner.Tune()                      // search
+//	fmt.Println(best.Print())                      // the winning program
+//
+// Networks of many subgraphs are tuned with the gradient-descent task
+// scheduler via TuneNetwork. Execution is measured on deterministic
+// analytic machine models (package internal/sim) standing in for the
+// paper's hardware testbeds; see DESIGN.md.
+package ansor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/measure"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+	"repro/internal/te"
+	"repro/internal/workloads"
+)
+
+// ComputeBuilder re-exports the tensor expression builder: declare inputs
+// and weights, chain operators, call Finish.
+type ComputeBuilder = te.Builder
+
+// NewComputeBuilder returns a builder for a computation DAG.
+func NewComputeBuilder(name string) *ComputeBuilder { return te.NewBuilder(name) }
+
+// DAG is a computation definition.
+type DAG = te.DAG
+
+// ConvOpts re-exports convolution options.
+type ConvOpts = te.ConvOpts
+
+// Target selects the hardware to generate programs for. It bundles the
+// machine model used for measurement with the structural search-space
+// parameters of §4.
+type Target struct {
+	Name    string
+	Machine *sim.Machine
+	Space   sketch.Target
+}
+
+// TargetIntelCPU is the paper's 20-core Intel Xeon; avx512 selects the
+// vector ISA.
+func TargetIntelCPU(avx512 bool) Target {
+	m := sim.IntelXeon()
+	if avx512 {
+		m = sim.IntelXeonAVX512()
+	}
+	return Target{Name: m.Name, Machine: m, Space: sketch.CPUTarget()}
+}
+
+// TargetARMCPU is the paper's 4-core Cortex-A53.
+func TargetARMCPU() Target {
+	s := sketch.CPUTarget()
+	s.VectorLanes = 4
+	return Target{Name: "arm-cortex-a53", Machine: sim.ARMCortexA53(), Space: s}
+}
+
+// TargetNVIDIAGPU is the paper's V100.
+func TargetNVIDIAGPU() Target {
+	return Target{Name: "nvidia-v100", Machine: sim.NVIDIAV100(), Space: sketch.GPUTarget()}
+}
+
+// Task is one program-generation task: a subgraph on a target.
+type Task struct {
+	Name   string
+	DAG    *DAG
+	Target Target
+	// Weight is the subgraph's appearance count within a network.
+	Weight int
+}
+
+// NewTask builds a task (Weight 1).
+func NewTask(name string, dag *DAG, target Target) Task {
+	return Task{Name: name, DAG: dag, Target: target, Weight: 1}
+}
+
+// TuningOptions controls the search.
+type TuningOptions struct {
+	// Trials is the measurement budget (§7 uses 1000 per subgraph).
+	Trials int
+	// MeasuresPerRound is the batch size per search round (default 64).
+	MeasuresPerRound int
+	// Seed drives all randomness; equal seeds give identical searches.
+	Seed int64
+	// NoiseStd is the relative measurement jitter (default 0.02).
+	NoiseStd float64
+	// CustomRules are user-defined sketch derivation rules (§4.1).
+	CustomRules []sketch.Rule
+}
+
+func (o *TuningOptions) defaults() {
+	if o.Trials == 0 {
+		o.Trials = 1000
+	}
+	if o.MeasuresPerRound == 0 {
+		o.MeasuresPerRound = 64
+	}
+	if o.NoiseStd == 0 {
+		o.NoiseStd = 0.02
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Rule re-exports the sketch derivation rule interface for user rules.
+type Rule = sketch.Rule
+
+// Program is a complete scheduled tensor program.
+type Program struct {
+	State *ir.State
+	// Seconds is its measured execution time on the target.
+	Seconds float64
+	// GFLOPS is its measured throughput.
+	GFLOPS float64
+}
+
+// Print renders the program's loop nest in the style of Figure 5.
+func (p Program) Print() string { return p.State.Print() }
+
+// Tuner searches for the best program of one task.
+type Tuner struct {
+	task     Task
+	opts     TuningOptions
+	pol      *policy.Policy
+	measurer *measure.Measurer
+}
+
+// NewTuner builds a tuner; it constructs the task's search space (sketch
+// generation) eagerly and fails if the DAG is invalid.
+func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
+	opts.defaults()
+	ms := measure.New(task.Target.Machine, opts.NoiseStd, opts.Seed)
+	popts := policy.DefaultOptions()
+	popts.Seed = opts.Seed
+	pol, err := policy.New(policy.Task{
+		Name: task.Name, DAG: task.DAG, Target: task.Target.Space, Weight: task.Weight,
+	}, popts, ms, opts.CustomRules...)
+	if err != nil {
+		return nil, fmt.Errorf("ansor: %w", err)
+	}
+	return &Tuner{task: task, opts: opts, pol: pol, measurer: ms}, nil
+}
+
+// Sketches returns the generated sketches of the task's search space
+// (incomplete programs with TILE placeholders, §4.1).
+func (t *Tuner) Sketches() []*ir.State { return t.pol.Sketches() }
+
+// Tune runs the full search and returns the best program found.
+func (t *Tuner) Tune() (Program, error) {
+	t.pol.Tune(t.opts.Trials, t.opts.MeasuresPerRound)
+	return t.Best()
+}
+
+// Best returns the best program measured so far.
+func (t *Tuner) Best() (Program, error) {
+	if t.pol.BestState == nil {
+		return Program{}, fmt.Errorf("ansor: no valid program measured for task %q", t.task.Name)
+	}
+	low, err := ir.Lower(t.pol.BestState)
+	if err != nil {
+		return Program{}, err
+	}
+	return Program{
+		State:   t.pol.BestState,
+		Seconds: t.pol.BestTime,
+		GFLOPS:  low.TotalFlops() / t.pol.BestTime / 1e9,
+	}, nil
+}
+
+// Trials returns the number of measurements spent so far.
+func (t *Tuner) Trials() int { return t.measurer.Trials }
+
+// NetworkTask is one weighted subgraph of a network.
+type NetworkTask struct {
+	Name   string
+	Weight int
+	Build  func() *DAG
+	// Tag groups similar tasks for the scheduler's gradient
+	// approximation (N(i), Appendix A); optional.
+	Tag string
+}
+
+// Network is a set of weighted subgraphs (see package workloads for the
+// paper's five networks).
+type Network struct {
+	Name  string
+	Tasks []NetworkTask
+}
+
+// BuiltinNetwork returns one of the paper's evaluation networks:
+// "resnet-50", "mobilenet-v2", "3d-resnet-18", "dcgan", "bert".
+func BuiltinNetwork(name string, batch int) (Network, error) {
+	var w workloads.Network
+	switch name {
+	case "resnet-50":
+		w = workloads.ResNet50(batch)
+	case "mobilenet-v2":
+		w = workloads.MobileNetV2(batch)
+	case "3d-resnet-18":
+		w = workloads.Res3D18(batch)
+	case "dcgan":
+		w = workloads.DCGAN(batch)
+	case "bert":
+		w = workloads.BERT(batch)
+	default:
+		return Network{}, fmt.Errorf("ansor: unknown network %q", name)
+	}
+	return fromWorkload(w), nil
+}
+
+func fromWorkload(w workloads.Network) Network {
+	n := Network{Name: w.Name}
+	for _, t := range w.Tasks {
+		n.Tasks = append(n.Tasks, NetworkTask{Name: t.Name, Weight: t.Weight, Build: t.Build, Tag: t.Tag})
+	}
+	return n
+}
+
+// NetworkResult is the outcome of tuning a network.
+type NetworkResult struct {
+	// Latency is the end-to-end latency estimate Σ wᵢ·gᵢ.
+	Latency float64
+	// TaskLatencies maps each task to its best subgraph latency.
+	TaskLatencies map[string]float64
+	// Trials spent in total.
+	Trials int
+}
+
+// TuneNetwork tunes all subgraphs of a network with the gradient-descent
+// task scheduler (§6), budgeting roughly trialsPerTask measurements per
+// unique subgraph.
+func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult, error) {
+	opts.defaults()
+	ms := measure.New(target.Machine, opts.NoiseStd, opts.Seed)
+	var tuners []sched.Tuner
+	var dnn sched.DNN
+	dnn.Name = net.Name
+	pols := make([]*policy.Policy, 0, len(net.Tasks))
+	for i, task := range net.Tasks {
+		popts := policy.DefaultOptions()
+		popts.Seed = opts.Seed + int64(i)*31
+		dag := task.Build()
+		p, err := policy.New(policy.Task{
+			Name: task.Name, DAG: dag, Target: target.Space, Weight: task.Weight,
+		}, popts, ms)
+		if err != nil {
+			return NetworkResult{}, fmt.Errorf("ansor: task %s: %w", task.Name, err)
+		}
+		pols = append(pols, p)
+		tuners = append(tuners, &netTuner{
+			p: p, perRound: opts.MeasuresPerRound, tag: task.Tag, flops: dag.TotalFlops(),
+		})
+		dnn.Tasks = append(dnn.Tasks, i)
+		dnn.Weights = append(dnn.Weights, float64(task.Weight))
+	}
+	s := sched.New(tuners, sched.F1{DNNs: []sched.DNN{dnn}}, sched.DefaultOptions())
+	units := opts.Trials * len(tuners) / opts.MeasuresPerRound
+	if units < len(tuners) {
+		units = len(tuners)
+	}
+	s.Run(units)
+	res := NetworkResult{TaskLatencies: map[string]float64{}, Trials: ms.Trials}
+	g := make([]float64, len(tuners))
+	for i, t := range tuners {
+		g[i] = t.BestLatency()
+		res.TaskLatencies[net.Tasks[i].Name] = g[i]
+	}
+	res.Latency = dnn.Latency(g)
+	if math.IsInf(res.Latency, 1) {
+		return res, fmt.Errorf("ansor: some tasks were never measured; increase Trials")
+	}
+	return res, nil
+}
+
+type netTuner struct {
+	p        *policy.Policy
+	perRound int
+	tag      string
+	flops    float64
+}
+
+func (t *netTuner) Name() string { return t.p.Task.Name }
+func (t *netTuner) BestLatency() float64 {
+	if t.p.BestState == nil {
+		return math.Inf(1)
+	}
+	return t.p.BestTime
+}
+func (t *netTuner) AllocateUnit()         { t.p.SearchRound(t.perRound) }
+func (t *netTuner) TaskFlops() float64    { return t.flops }
+func (t *netTuner) SimilarityTag() string { return t.tag }

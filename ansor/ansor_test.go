@@ -1,0 +1,99 @@
+package ansor
+
+import (
+	"strings"
+	"testing"
+)
+
+func matmulDAG(t *testing.T) *DAG {
+	t.Helper()
+	b := NewComputeBuilder("matmul_relu")
+	a := b.Input("A", 512, 512)
+	c := b.Matmul(a, 512, true)
+	b.ReLU(c)
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTunerEndToEnd(t *testing.T) {
+	task := NewTask("matmul", matmulDAG(t), TargetIntelCPU(false))
+	tuner, err := NewTuner(task, TuningOptions{Trials: 64, MeasuresPerRound: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuner.Sketches()) == 0 {
+		t.Fatal("no sketches")
+	}
+	best, err := tuner.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Seconds <= 0 || best.GFLOPS <= 0 {
+		t.Fatalf("bad result: %+v", best)
+	}
+	if tuner.Trials() != 64 {
+		t.Errorf("trials = %d, want 64", tuner.Trials())
+	}
+	out := best.Print()
+	if !strings.Contains(out, "parallel") && !strings.Contains(out, "vectorize") {
+		t.Errorf("best program lacks annotations:\n%s", out)
+	}
+}
+
+func TestTunerRejectsEmptyDAG(t *testing.T) {
+	b := NewComputeBuilder("empty")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("empty dag accepted")
+	}
+}
+
+func TestBuiltinNetworks(t *testing.T) {
+	for _, name := range []string{"resnet-50", "mobilenet-v2", "3d-resnet-18", "dcgan", "bert"} {
+		n, err := BuiltinNetwork(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(n.Tasks) == 0 {
+			t.Errorf("%s: no tasks", name)
+		}
+	}
+	if _, err := BuiltinNetwork("nope", 1); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestTuneNetworkSmall(t *testing.T) {
+	net, err := BuiltinNetwork("dcgan", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TuneNetwork(net, TargetIntelCPU(true), TuningOptions{
+		Trials: 16, MeasuresPerRound: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 {
+		t.Fatalf("latency %g", res.Latency)
+	}
+	if len(res.TaskLatencies) != len(net.Tasks) {
+		t.Errorf("task latencies %d, want %d", len(res.TaskLatencies), len(net.Tasks))
+	}
+}
+
+func TestTargets(t *testing.T) {
+	for _, tgt := range []Target{TargetIntelCPU(false), TargetIntelCPU(true), TargetARMCPU(), TargetNVIDIAGPU()} {
+		if tgt.Machine == nil || tgt.Name == "" {
+			t.Errorf("bad target %+v", tgt)
+		}
+	}
+	if TargetIntelCPU(true).Machine.VectorLanes != 16 {
+		t.Error("avx512 target should have 16 lanes")
+	}
+	if !TargetNVIDIAGPU().Space.GPU {
+		t.Error("gpu target should use gpu sketch rules")
+	}
+}

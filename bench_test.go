@@ -1,0 +1,251 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (§7) at a reduced-but-shape-preserving scale,
+// plus microbenchmarks of the core subsystems. Paper-scale runs are
+// available through cmd/ansor-bench (-trials 1000).
+//
+// Run with:  go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/anno"
+	"repro/internal/exp"
+	"repro/internal/feat"
+	"repro/internal/ir"
+	"repro/internal/measure"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+	"repro/internal/te"
+	"repro/internal/workloads"
+	"repro/internal/xgb"
+)
+
+func benchConfig() exp.Config {
+	cfg := exp.DefaultConfig()
+	cfg.Trials = 48
+	cfg.PerRound = 16
+	return cfg
+}
+
+// ---- Figure/table regeneration benches ----
+
+// BenchmarkFig3CostModelPartialPrograms regenerates Figure 3: cost-model
+// pairwise accuracy and top-k recall versus program completion rate.
+func BenchmarkFig3CostModelPartialPrograms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Trials = 40 // 800 programs
+		r := exp.Fig3(cfg)
+		last := len(r.PairwiseAcc) - 1
+		b.ReportMetric(r.PairwiseAcc[0], "pairwise@0")
+		b.ReportMetric(r.PairwiseAcc[last], "pairwise@1")
+		b.ReportMetric(r.TopKRecall[last], "recall@1")
+	}
+}
+
+// BenchmarkFig6SingleOp regenerates Figure 6 (both batch sizes): the ten
+// single operators against PyTorch, Halide, FlexTensor and AutoTVM.
+func BenchmarkFig6SingleOp(b *testing.B) {
+	for _, batch := range []int{1, 16} {
+		b.Run(bname("batch", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := exp.Fig6(benchConfig(), batch)
+				b.ReportMetric(float64(r.AnsorBestCount()), "ansor-best-of-10")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Ablation regenerates Figure 7: the four-variant ablation
+// curve on ResNet-50's last convolution.
+func BenchmarkFig7Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Trials = 192
+		r := exp.Fig7(cfg, 1)
+		b.ReportMetric(r.Curves[exp.V7Ansor].Final, "ansor-final")
+		b.ReportMetric(r.Curves[exp.V7BeamSearch].Final, "beam-final")
+		b.ReportMetric(r.Curves[exp.V7LimitedSpace].Final, "limited-final")
+		b.ReportMetric(r.Curves[exp.V7NoFineTuning].Final, "noft-final")
+	}
+}
+
+// BenchmarkFig8Subgraph regenerates Figure 8 (both batch sizes): the
+// ConvLayer and TBG subgraphs on CPU and GPU.
+func BenchmarkFig8Subgraph(b *testing.B) {
+	for _, batch := range []int{1, 16} {
+		b.Run(bname("batch", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := exp.Fig8(benchConfig(), batch)
+				ansorWins := 0
+				for _, row := range r.Rows {
+					if row.Perf[exp.FwAnsor] >= 0.98 {
+						ansorWins++
+					}
+				}
+				b.ReportMetric(float64(ansorWins), "ansor-best-of-4")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Network regenerates Figure 9: the five end-to-end networks
+// on the Intel CPU, NVIDIA GPU and ARM CPU.
+func BenchmarkFig9Network(b *testing.B) {
+	panels := []struct {
+		plat  string
+		batch int
+	}{{"intel", 1}, {"intel", 16}, {"gpu", 1}, {"gpu", 16}, {"arm", 1}}
+	for _, p := range panels {
+		p := p
+		b.Run(p.plat+"/"+bname("batch", p.batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Trials = 10 // per task
+				cfg.PerRound = 10
+				r := exp.Fig9Panel(cfg, p.plat, p.batch)
+				b.ReportMetric(float64(r.AnsorBestCount()), "ansor-best-of-5")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10TaskScheduler regenerates Figure 10: the task-scheduler
+// ablation tuning curves on MobileNet-V2 and MobileNet-V2 + ResNet-50.
+func BenchmarkFig10TaskScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Trials = 8 // per task
+		cfg.PerRound = 8
+		rs := exp.Fig10(cfg, 1, 2)
+		b.ReportMetric(rs[0].Curves[exp.VariantAnsor].Final, "mobilenet-ansor-speedup")
+		b.ReportMetric(rs[1].Curves[exp.VariantAnsor].Final, "joint-ansor-speedup")
+		if mt := rs[0].Curves[exp.VariantAnsor].MatchTrials; mt > 0 {
+			b.ReportMetric(float64(rs[0].AutoTVMTrials)/float64(mt), "trials-saving-x")
+		}
+	}
+}
+
+// ---- Microbenchmarks of the core subsystems ----
+
+func convDAG() *te.DAG {
+	b := te.NewBuilder("conv")
+	x := b.Input("X", 16, 256, 14, 14)
+	y := b.Conv2D(x, te.ConvOpts{OutChannels: 512, Kernel: 3, Stride: 2, Pad: 1})
+	b.ReLU(y)
+	return b.MustFinish()
+}
+
+func BenchmarkSketchGeneration(b *testing.B) {
+	d := convDAG()
+	g := sketch.NewGenerator(sketch.CPUTarget())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Generate(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomAnnotation(b *testing.B) {
+	d := convDAG()
+	sk, _ := sketch.NewGenerator(sketch.CPUTarget()).Generate(d)
+	sp := anno.NewSampler(sketch.CPUTarget(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.SamplePopulation(sk, 1)
+	}
+}
+
+func BenchmarkLowerAndSimulate(b *testing.B) {
+	d := convDAG()
+	sk, _ := sketch.NewGenerator(sketch.CPUTarget()).Generate(d)
+	s := anno.NewSampler(sketch.CPUTarget(), 1).SamplePopulation(sk, 1)[0]
+	m := sim.IntelXeon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		low, err := ir.Lower(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = m.Time(low)
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	d := convDAG()
+	sk, _ := sketch.NewGenerator(sketch.CPUTarget()).Generate(d)
+	s := anno.NewSampler(sketch.CPUTarget(), 1).SamplePopulation(sk, 1)[0]
+	low, _ := ir.Lower(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = feat.Extract(low)
+	}
+}
+
+func BenchmarkCostModelFit(b *testing.B) {
+	d := convDAG()
+	sk, _ := sketch.NewGenerator(sketch.CPUTarget()).Generate(d)
+	pop := anno.NewSampler(sketch.CPUTarget(), 1).SamplePopulation(sk, 256)
+	m := sim.IntelXeon()
+	var progs [][][]float64
+	var y []float64
+	for _, s := range pop {
+		low, err := ir.Lower(s)
+		if err != nil {
+			continue
+		}
+		progs = append(progs, feat.Extract(low))
+		y = append(y, 1/m.Time(low))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := xgb.NewCostModel(xgb.DefaultOpts())
+		model.Fit(progs, y)
+	}
+}
+
+func BenchmarkSearchRound(b *testing.B) {
+	d := convDAG()
+	ms := measure.New(sim.IntelXeon(), 0.02, 1)
+	p, err := policy.New(policy.Task{Name: "conv", DAG: d, Target: sketch.CPUTarget()},
+		policy.DefaultOptions(), ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SearchRound(16)
+	}
+}
+
+func BenchmarkVendorModel(b *testing.B) {
+	nets := workloads.AllNetworks(1)
+	plat := exp.IntelPlatform(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range nets {
+			_ = exp.VendorNetworkTime(n, plat, "PyTorch")
+		}
+	}
+}
+
+func bname(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

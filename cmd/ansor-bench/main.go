@@ -1,0 +1,80 @@
+// Command ansor-bench regenerates the figures of the paper's evaluation
+// (§7). Every experiment prints the same rows/series the paper reports.
+//
+// Examples:
+//
+//	ansor-bench -exp fig3
+//	ansor-bench -exp fig6 -batch 16 -trials 1000   # paper scale
+//	ansor-bench -exp fig9 -platform arm
+//	ansor-bench -exp all -trials 64                # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "all", "experiment: fig3, fig6, fig7, fig8, fig9, fig10, all")
+		trials   = flag.Int("trials", 0, "trials per case (0 = default reduced scale; paper uses 1000)")
+		perRound = flag.Int("per-round", 0, "measurements per round (0 = default)")
+		batch    = flag.Int("batch", 1, "batch size for fig6/fig8/fig10")
+		platform = flag.String("platform", "", "fig9 platform filter: intel, gpu, arm (empty = all)")
+		runs     = flag.Int("runs", 3, "fig7 median-of-N runs")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	cfg.Out = os.Stdout
+	cfg.Seed = *seed
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *perRound > 0 {
+		cfg.PerRound = *perRound
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig3":
+			exp.Fig3(cfg)
+		case "fig6":
+			exp.Fig6(cfg, *batch)
+		case "fig7":
+			exp.Fig7(cfg, *runs)
+		case "fig8":
+			exp.Fig8(cfg, *batch)
+		case "fig9":
+			c := cfg
+			if c.Trials > 200 {
+				fmt.Println("(fig9 interprets -trials per task)")
+			}
+			if *platform != "" {
+				exp.Fig9Panel(c, *platform, *batch)
+			} else {
+				exp.Fig9(c)
+			}
+		case "fig10":
+			c := cfg
+			exp.Fig10(c, *batch, 2)
+		case "all":
+			exp.Fig3(cfg)
+			exp.Fig6(cfg, 1)
+			exp.Fig6(cfg, 16)
+			exp.Fig7(cfg, *runs)
+			exp.Fig8(cfg, 1)
+			exp.Fig8(cfg, 16)
+			exp.Fig9(cfg)
+			exp.Fig10(cfg, *batch, 2)
+		default:
+			fmt.Fprintf(os.Stderr, "ansor-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	run(*which)
+}

@@ -1,0 +1,116 @@
+// Command ansor-tune tunes one operator, subgraph, or whole network from
+// the command line and prints the best program / latencies found.
+//
+// Examples:
+//
+//	ansor-tune -workload GMM.s1 -trials 1000
+//	ansor-tune -workload ConvLayer.s2 -target gpu -trials 500
+//	ansor-tune -network mobilenet-v2 -batch 16 -trials 200
+//	ansor-tune -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/ansor"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "single op or subgraph key, e.g. GMM.s1, ConvLayer.s0")
+		network  = flag.String("network", "", "network name: resnet-50, mobilenet-v2, 3d-resnet-18, dcgan, bert")
+		batch    = flag.Int("batch", 1, "batch size")
+		target   = flag.String("target", "intel", "target: intel, intel-avx512, arm, gpu")
+		trials   = flag.Int("trials", 1000, "measurement trials (per task for networks)")
+		perRound = flag.Int("per-round", 64, "measurements per search round")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("single operators and subgraphs (use with -workload):")
+		var keys []string
+		for _, w := range append(workloads.SingleOps(*batch), workloads.Subgraphs(*batch)...) {
+			keys = append(keys, w.Key)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Println("  ", k)
+		}
+		fmt.Println("networks (use with -network): resnet-50 mobilenet-v2 3d-resnet-18 dcgan bert")
+		return
+	}
+
+	var tgt ansor.Target
+	switch *target {
+	case "intel":
+		tgt = ansor.TargetIntelCPU(false)
+	case "intel-avx512":
+		tgt = ansor.TargetIntelCPU(true)
+	case "arm":
+		tgt = ansor.TargetARMCPU()
+	case "gpu":
+		tgt = ansor.TargetNVIDIAGPU()
+	default:
+		fatalf("unknown target %q", *target)
+	}
+	opts := ansor.TuningOptions{Trials: *trials, MeasuresPerRound: *perRound, Seed: *seed}
+
+	switch {
+	case *network != "":
+		net, err := ansor.BuiltinNetwork(*network, *batch)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("tuning %s (batch %d) on %s: %d tasks, ~%d trials/task\n",
+			net.Name, *batch, tgt.Name, len(net.Tasks), *trials)
+		res, err := ansor.TuneNetwork(net, tgt, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("end-to-end latency: %.6g s (%d trials)\n", res.Latency, res.Trials)
+		var names []string
+		for n := range res.TaskLatencies {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-40s %.6g s\n", n, res.TaskLatencies[n])
+		}
+	case *workload != "":
+		all := append(workloads.SingleOps(*batch), workloads.Subgraphs(*batch)...)
+		var dag *ansor.DAG
+		for _, w := range all {
+			if w.Key == *workload {
+				dag = w.Build()
+			}
+		}
+		if dag == nil {
+			fatalf("unknown workload %q (try -list)", *workload)
+		}
+		tuner, err := ansor.NewTuner(ansor.NewTask(*workload, dag, tgt), opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("tuning %s (batch %d) on %s, %d sketches, %d trials\n",
+			*workload, *batch, tgt.Name, len(tuner.Sketches()), *trials)
+		best, err := tuner.Tune()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("best: %.6g s, %.1f GFLOP/s\n\n%s", best.Seconds, best.GFLOPS, best.Print())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ansor-tune: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// customrule: register a user-defined sketch derivation rule (§4.1:
+// "we allow users to register new derivation rules and integrate them
+// seamlessly with existing rules").
+//
+// The built-in rules always tile compute-intensive nodes with the full
+// "SSRSRS" structure. Some algorithms want a different shape: here we add
+// a rule that offers an alternative shallow "SSRS" tiling for small
+// convolutions (standing in for a special algorithm such as Winograd that
+// needs its own tile structure), and show that the search space now
+// contains both structures.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/ansor"
+	"repro/internal/ir"
+	"repro/internal/sketch"
+)
+
+// shallowTileRule derives an extra sketch with a 2-level space tiling for
+// small convolution nodes.
+type shallowTileRule struct{}
+
+func (shallowTileRule) Name() string { return "ShallowTileForSmallConv" }
+
+func (shallowTileRule) Meets(_ *sketch.Generator, s *ir.State, i int) bool {
+	st := s.Stages[i]
+	return strings.HasPrefix(st.Name, "conv2d") &&
+		st.TiledSpaceLevels == 0 && !st.Inlined && !st.Attached &&
+		st.Node.SpaceSize() <= 1<<16
+}
+
+func (shallowTileRule) Apply(_ *sketch.Generator, s *ir.State, i int) []sketch.Next {
+	c := s.Clone()
+	if err := c.Apply(&ir.MultiLevelTileStep{
+		Stage: c.Stages[i].Name, Structure: "SSRS",
+	}); err != nil {
+		return nil
+	}
+	return []sketch.Next{{State: c, Index: i - 1}}
+}
+
+func main() {
+	b := ansor.NewComputeBuilder("small_conv")
+	x := b.Input("X", 1, 64, 14, 14)
+	y := b.Conv2D(x, ansor.ConvOpts{OutChannels: 64, Kernel: 3, Pad: 1})
+	b.ReLU(y)
+	dag, err := b.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	task := ansor.NewTask("small_conv", dag, ansor.TargetIntelCPU(false))
+	tuner, err := ansor.NewTuner(task, ansor.TuningOptions{
+		Trials:           120,
+		MeasuresPerRound: 20,
+		Seed:             1,
+		CustomRules:      []ansor.Rule{shallowTileRule{}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search space now has %d sketches (built-in + user rule):\n", len(tuner.Sketches()))
+	for i, sk := range tuner.Sketches() {
+		fmt.Printf("\n--- sketch %d ---\n%s", i+1, sk.Print())
+	}
+	best, err := tuner.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest: %.4g s (%.1f GFLOP/s)\n%s", best.Seconds, best.GFLOPS, best.Print())
+}

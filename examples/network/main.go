@@ -1,0 +1,43 @@
+// network: tune a whole DNN (DCGAN's generator) with the gradient-descent
+// task scheduler (§6). The scheduler allocates measurement rounds to the
+// subgraphs that most improve end-to-end latency, instead of splitting
+// the budget evenly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/ansor"
+)
+
+func main() {
+	net, err := ansor.BuiltinNetwork("dcgan", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d unique subgraphs\n", net.Name, len(net.Tasks))
+	for _, t := range net.Tasks {
+		fmt.Printf("  %-24s weight=%d tag=%s\n", t.Name, t.Weight, t.Tag)
+	}
+
+	res, err := ansor.TuneNetwork(net, ansor.TargetIntelCPU(true), ansor.TuningOptions{
+		Trials:           60, // per task on average; the paper uses 1000
+		MeasuresPerRound: 12,
+		Seed:             1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nend-to-end latency: %.5g s after %d measurement trials\n",
+		res.Latency, res.Trials)
+	var names []string
+	for n := range res.TaskLatencies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-24s %.5g s\n", n, res.TaskLatencies[n])
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: define a matmul+ReLU computation, tune it for the Intel
+// CPU, and print the best tensor program Ansor found.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ansor"
+)
+
+func main() {
+	// 1. Define the computation, as in Figure 1 of the paper:
+	//    C[i,j] = sum_k A[i,k] * B[k,j];  D = max(C, 0).
+	b := ansor.NewComputeBuilder("matmul_relu")
+	a := b.Input("A", 512, 512)
+	c := b.Matmul(a, 512, true) // true: B is a constant weight
+	b.ReLU(c)
+	dag, err := b.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Create a tuning task for the target machine.
+	task := ansor.NewTask("matmul_relu", dag, ansor.TargetIntelCPU(false))
+	tuner, err := ansor.NewTuner(task, ansor.TuningOptions{
+		Trials:           200,
+		MeasuresPerRound: 25,
+		Seed:             1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Inspect the automatically generated search space: the sketches
+	//    (high-level structures with unfilled tile sizes, §4.1).
+	fmt.Printf("generated %d sketch(es); sketch 1:\n\n%s\n",
+		len(tuner.Sketches()), tuner.Sketches()[0].Print())
+
+	// 4. Search: sample, evolve with the learned cost model, measure.
+	best, err := tuner.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best program after %d trials: %.4g s (%.1f GFLOP/s)\n\n%s",
+		tuner.Trials(), best.Seconds, best.GFLOPS, best.Print())
+}

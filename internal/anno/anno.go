@@ -1,0 +1,259 @@
+// Package anno implements Ansor's random annotation (§4.2): it turns
+// incomplete sketches into complete programs by randomly filling tile
+// sizes, parallelizing outer loops, vectorizing inner loops, unrolling a
+// few inner loops, tweaking compute locations, and rewriting constant
+// tensor layouts.
+package anno
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/sketch"
+	"repro/internal/te"
+)
+
+// Sampler draws complete programs from sketches.
+type Sampler struct {
+	Target sketch.Target
+	// Fixed selects the deterministic annotation policy used by the
+	// template-guided baselines (§7.1: FlexTensor's "fixed unrolling
+	// policy", templates that pre-decide parallel/vectorize placement):
+	// tile sizes remain random, but annotations and compute locations
+	// are fixed.
+	Fixed bool
+	rng   *rand.Rand
+}
+
+// NewSampler returns a sampler seeded deterministically.
+func NewSampler(t sketch.Target, seed int64) *Sampler {
+	return &Sampler{Target: t, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Divisors returns the positive divisors of n in increasing order.
+func Divisors(n int) []int {
+	var out []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+			if d != n/d {
+				out = append(out, n/d)
+			}
+		}
+	}
+	// insertion sort; divisor lists are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RandomFactors samples parts-1 inner tile lengths whose product divides
+// extent (the outermost length is derived by the split).
+func RandomFactors(rng *rand.Rand, extent, parts int) []int {
+	fs := make([]int, parts-1)
+	rem := extent
+	for i := range fs {
+		ds := Divisors(rem)
+		fs[i] = ds[rng.Intn(len(ds))]
+		rem /= fs[i]
+	}
+	return fs
+}
+
+// Sample draws one complete random program from a sketch. The result's
+// step list fully determines it (replayable); an error means this draw
+// produced an invalid program and the caller should redraw.
+func (sp *Sampler) Sample(sk *ir.State) (*ir.State, error) {
+	steps := sp.fillStructure(sk)
+	s, err := ir.Replay(sk.DAG, steps)
+	if err != nil {
+		return nil, err
+	}
+	if err := sp.annotate(s); err != nil {
+		return nil, err
+	}
+	if !s.Complete() {
+		return nil, fmt.Errorf("anno: sampled program still incomplete")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SamplePopulation draws n valid programs, spreading draws across
+// sketches (§4.2: "randomly pick one sketch").
+func (sp *Sampler) SamplePopulation(sketches []*ir.State, n int) []*ir.State {
+	var out []*ir.State
+	attempts := 0
+	for len(out) < n && attempts < 20*n {
+		attempts++
+		sk := sketches[sp.rng.Intn(len(sketches))]
+		s, err := sp.Sample(sk)
+		if err != nil {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// fillStructure clones the sketch's steps, randomly fills unfilled tile
+// factors, and occasionally tweaks the compute location (the fused
+// consumer's split point).
+func (sp *Sampler) fillStructure(sk *ir.State) []ir.Step {
+	state := ir.NewState(sk.DAG)
+	steps := make([]ir.Step, 0, len(sk.Steps))
+	for _, st := range sk.Steps {
+		c := st.Clone()
+		switch t := c.(type) {
+		case *ir.MultiLevelTileStep:
+			if t.SpaceFactors == nil {
+				// Resolve the stage's axes at this point of the replay.
+				stage := state.Stage(t.Stage)
+				if stage != nil {
+					nSp, nRe := countLevels(t.Structure)
+					t.SpaceFactors = make([][]int, len(stage.Node.SpaceAxes))
+					for i, a := range stage.Node.SpaceAxes {
+						t.SpaceFactors[i] = RandomFactors(sp.rng, a.Extent, nSp)
+					}
+					t.ReduceFactors = make([][]int, len(stage.Node.ReduceAxes))
+					for i, a := range stage.Node.ReduceAxes {
+						t.ReduceFactors[i] = RandomFactors(sp.rng, a.Extent, nRe)
+					}
+				}
+			}
+		case *ir.FuseConsumerStep:
+			// Compute-location tweak: occasionally move the fusion point
+			// one tile level out or in (§4.2 "randomly change the
+			// computation location of some nodes").
+			if !sp.Fixed && sp.rng.Float64() < 0.2 {
+				if sp.rng.Intn(2) == 0 && t.OuterLevels > 1 {
+					t.OuterLevels--
+				} else {
+					t.OuterLevels++
+				}
+			}
+		}
+		steps = append(steps, c)
+		// Track replay so later steps see up-to-date stages; ignore the
+		// error here, Replay in Sample reports it properly.
+		_ = state.Apply(c)
+	}
+	return steps
+}
+
+func countLevels(structure string) (nSpace, nReduce int) {
+	for _, c := range structure {
+		if c == 'S' {
+			nSpace++
+		} else {
+			nReduce++
+		}
+	}
+	return
+}
+
+// annotate applies the random annotation pass to a complete state.
+func (sp *Sampler) annotate(s *ir.State) error {
+	// auto_unroll_max_step candidates, as in TVM's auto_scheduler.
+	unrollCandidates := []int{0, 16, 64, 512}
+	for _, st := range s.Stages {
+		if st.Inlined {
+			continue
+		}
+		name := st.Name
+		if !st.Attached {
+			// Root stage: fuse a prefix of space loops and parallelize.
+			nSpace := 0
+			for _, it := range st.Iters {
+				if it.Kind != te.Space {
+					break
+				}
+				nSpace++
+			}
+			if nSpace > 0 {
+				// Never fuse past an attach point: the attached producer
+				// must keep recomputing once per fused iteration.
+				maxFuse := nSpace
+				for _, child := range s.Stages {
+					if child.Attached && child.AttachTarget == name && child.AttachIdx+1 < maxFuse {
+						maxFuse = child.AttachIdx + 1
+					}
+				}
+				nf := maxFuse
+				if !sp.Fixed && !sp.Target.GPU && maxFuse > 1 {
+					// CPUs sometimes parallelize fewer levels.
+					nf = 1 + sp.rng.Intn(maxFuse)
+				}
+				if nf >= 2 {
+					if err := s.Apply(&ir.FuseStep{Stage: name, First: 0, Count: nf}); err != nil {
+						return err
+					}
+				}
+				// GPU thread binding is mandatory: a kernel without a
+				// block-distributed loop is not a valid GPU program.
+				if st.Iters[0].Extent != 1 && (sp.Fixed || sp.Target.GPU || sp.rng.Float64() < 0.95) {
+					if err := s.Apply(&ir.AnnotateStep{Stage: name, IterIdx: 0, Ann: ir.AnnParallel}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		// Vectorize the innermost loop when it is a space loop.
+		if n := len(st.Iters); n > 0 {
+			last := st.Iters[n-1]
+			if last.Kind == te.Space && last.Extent != 1 && last.Ann == ir.AnnNone &&
+				(sp.Fixed || sp.Target.GPU || sp.rng.Float64() < 0.85) {
+				if err := s.Apply(&ir.AnnotateStep{Stage: name, IterIdx: n - 1, Ann: ir.AnnVectorize}); err != nil {
+					return err
+				}
+			}
+		}
+		// Unroll pragma.
+		if len(st.Node.ReduceAxes) > 0 || st.Attached {
+			max := unrollCandidates[sp.rng.Intn(len(unrollCandidates))]
+			if sp.Fixed {
+				max = 16 // the baselines' fixed unrolling policy
+			}
+			if max > 0 {
+				if err := s.Apply(&ir.PragmaStep{Stage: name, AutoUnrollMax: max}); err != nil {
+					return err
+				}
+			}
+		}
+		// Occasionally explicitly unroll a small inner reduce loop.
+		if !sp.Fixed && sp.rng.Float64() < 0.3 {
+			for i := len(st.Iters) - 1; i >= 0; i-- {
+				it := st.Iters[i]
+				if it.Kind == te.Reduce && it.Extent > 1 && it.Extent <= 16 && it.Ann == ir.AnnNone {
+					if err := s.Apply(&ir.AnnotateStep{Stage: name, IterIdx: i, Ann: ir.AnnUnroll}); err != nil {
+						return err
+					}
+					break
+				}
+			}
+		}
+		// Layout-rewrite constant tensors of tiled stages (§4.2; always
+		// profitable for inference, applied with high probability so the
+		// cost model sees both variants).
+		if st.TiledSpaceLevels > 0 && sp.rng.Float64() < 0.9 {
+			hasConst := false
+			for _, a := range st.Node.Reads {
+				if a.Tensor.Const {
+					hasConst = true
+				}
+			}
+			if hasConst {
+				if err := s.Apply(&ir.LayoutRewriteStep{Stage: name}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

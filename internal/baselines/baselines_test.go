@@ -1,0 +1,172 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+	"repro/internal/te"
+	"repro/internal/workloads"
+)
+
+func conv2dTask() policy.Task {
+	b := te.NewBuilder("conv")
+	x := b.Input("X", 16, 256, 14, 14)
+	y := b.Conv2D(x, te.ConvOpts{OutChannels: 512, Kernel: 3, Stride: 2, Pad: 1})
+	b.ReLU(y)
+	return policy.Task{Name: "conv", DAG: b.MustFinish(), Target: sketch.CPUTarget()}
+}
+
+func TestVendorTimesSane(t *testing.T) {
+	m := sim.IntelXeonAVX512()
+	for _, w := range workloads.SingleOps(1) {
+		d := w.Build()
+		tm := VendorTime(m, PyTorch, d)
+		if tm <= 0 {
+			t.Errorf("%s: vendor time %g", w.Key, tm)
+		}
+		// Sanity: vendor cannot beat machine peak.
+		if gf := d.TotalFlops() / tm / 1e9; gf > m.PeakGFLOPS() {
+			t.Errorf("%s: vendor %f GFLOPS exceeds peak %f", w.Key, gf, m.PeakGFLOPS())
+		}
+	}
+}
+
+func TestVendorShape(t *testing.T) {
+	// Vendor libraries should be much closer to peak on GMM than on the
+	// exotic ops (CAP, NRM, DIL) — the qualitative shape of Figure 6.
+	m := sim.IntelXeonAVX512()
+	effOf := func(key string) float64 {
+		for _, w := range workloads.SingleOps(1) {
+			if w.Key == key {
+				d := w.Build()
+				return d.TotalFlops() / VendorTime(m, PyTorch, d) / 1e9 / m.PeakGFLOPS()
+			}
+		}
+		t.Fatalf("no workload %s", key)
+		return 0
+	}
+	gmm := effOf("GMM.s1")
+	for _, exotic := range []string{"CAP.s0", "NRM.s1", "DIL.s1"} {
+		if e := effOf(exotic); e >= gmm/2 {
+			t.Errorf("%s vendor efficiency %.3f should be far below GMM's %.3f", exotic, e, gmm)
+		}
+	}
+}
+
+func TestVendorFrameworkOrdering(t *testing.T) {
+	d := workloads.SingleOps(1)[5].Build()
+	cpu := sim.IntelXeonAVX512()
+	if VendorTime(cpu, TensorFlow, d) <= VendorTime(cpu, PyTorch, d) {
+		t.Error("TensorFlow should be modelled slightly slower than PyTorch")
+	}
+	gpu := sim.NVIDIAV100()
+	if VendorTime(gpu, TensorRT, d) >= VendorTime(gpu, PyTorch, d) {
+		t.Error("TensorRT should be modelled faster than plain CuDNN dispatch")
+	}
+}
+
+func TestTFLiteSupportGaps(t *testing.T) {
+	nets := workloads.AllNetworks(1)
+	var res3d, dcgan, resnet bool
+	for _, n := range nets {
+		for _, task := range n.Tasks {
+			d := task.Build()
+			sup := VendorSupports(TFLite, d)
+			switch n.Name {
+			case "3D-ResNet-18":
+				if !sup {
+					res3d = true
+				}
+			case "DCGAN":
+				if !sup {
+					dcgan = true
+				}
+			case "ResNet-50":
+				if !sup {
+					resnet = true
+				}
+			}
+		}
+	}
+	if !res3d || !dcgan {
+		t.Error("TFLite should lack kernels for 3D-ResNet and DCGAN (§7.3 footnote)")
+	}
+	if resnet {
+		t.Error("TFLite should support ResNet-50")
+	}
+}
+
+func TestBeamSearchRuns(t *testing.T) {
+	task := conv2dTask()
+	ms := measure.New(sim.IntelXeon(), 0.02, 1)
+	b := NewBeam(task.DAG, 8, ms, 1)
+	b.Tune(64, 16)
+	if b.BestTime >= 1e30 {
+		t.Fatal("beam search found no valid program")
+	}
+	if ms.Trials != 64 {
+		t.Errorf("beam used %d trials, want 64", ms.Trials)
+	}
+}
+
+func TestRestrictedSpacesAreSmaller(t *testing.T) {
+	// The restricted baselines must not contain Ansor-only structures:
+	// no cache stages, no rfactor stages; FlexTensor additionally never
+	// fuses or inlines.
+	task := conv2dTask()
+	ms := measure.New(sim.IntelXeon(), 0, 1)
+	ft, err := NewFlexTensor(task, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sk := range ft.Sketches() {
+		for _, st := range sk.Stages {
+			if st.Inlined {
+				t.Error("FlexTensor sketch contains an inlined stage")
+			}
+			if st.Attached {
+				t.Error("FlexTensor sketch contains a fused stage")
+			}
+		}
+	}
+	atvm, err := NewAutoTVM(task, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sk := range atvm.Sketches() {
+		for _, st := range sk.Stages {
+			if st.TiledSpaceLevels > 3 { // "SSRS" has 3 space levels
+				t.Errorf("AutoTVM sketch has %d space tile levels, want <= 3", st.TiledSpaceLevels)
+			}
+		}
+	}
+}
+
+func TestAnsorBeatsRestrictedBaselines(t *testing.T) {
+	// The headline of Figure 6/7: at equal trial budgets, Ansor's larger
+	// space + fine-tuning outperforms the restricted searches.
+	task := conv2dTask()
+	const trials = 320
+	run := func(mk func(policy.Task, *measure.Measurer, int64) (*policy.Policy, error)) float64 {
+		ms := measure.New(sim.IntelXeon(), 0.02, 7)
+		p, err := mk(task, ms, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Tune(trials, 16)
+	}
+	ansor := run(NewAnsor)
+	autotvm := run(NewAutoTVM)
+	flex := run(NewFlexTensor)
+	msB := measure.New(sim.IntelXeon(), 0.02, 7)
+	beam := NewBeam(task.DAG, 8, msB, 7).Tune(trials, 16)
+	t.Logf("ansor %.4g autotvm %.4g flextensor %.4g beam %.4g", ansor, autotvm, flex, beam)
+	for name, v := range map[string]float64{"autotvm": autotvm, "flextensor": flex, "beam": beam} {
+		if ansor > v {
+			t.Errorf("ansor (%.4g) slower than %s (%.4g)", ansor, name, v)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package evo implements Ansor's evolutionary fine-tuning (§5.1):
+// fitness-proportional selection over a population of complete programs,
+// with mutation operators that rewrite the programs' rewriting steps (the
+// "genes") — tile-size mutation, parallel/vectorization granularity
+// mutation, annotation mutation, compute-location mutation — and a
+// node-based crossover that merges the per-node steps of two parents.
+// Every offspring is verified by replaying its step list; invalid
+// offspring are discarded.
+package evo
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/anno"
+	"repro/internal/ir"
+	"repro/internal/te"
+)
+
+// Config controls the evolutionary search.
+type Config struct {
+	PopulationSize int
+	Generations    int
+	// CrossoverProb is the probability of producing an offspring by
+	// crossover rather than mutation.
+	CrossoverProb float64
+	// EliteCount survivors copied unchanged each generation.
+	EliteCount int
+	Seed       int64
+}
+
+// DefaultConfig returns the configuration used in the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		PopulationSize: 128,
+		Generations:    4,
+		CrossoverProb:  0.15,
+		EliteCount:     16,
+		Seed:           1,
+	}
+}
+
+// Scorer predicts the fitness of programs (higher = better). It also
+// exposes per-node scores for crossover donor selection.
+type Scorer interface {
+	// Score returns a fitness per state.
+	Score(states []*ir.State) []float64
+	// NodeScores returns per-node-tag scores of one state (may be nil if
+	// unavailable; crossover then picks donors at random).
+	NodeScores(s *ir.State) map[string]float64
+}
+
+// Search runs evolutionary fine-tuning.
+type Search struct {
+	Cfg Config
+	rng *rand.Rand
+}
+
+// NewSearch returns a seeded evolutionary search.
+func NewSearch(cfg Config) *Search {
+	return &Search{Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Run evolves the initial population for the configured generations and
+// returns the `out` highest-scoring distinct programs seen.
+func (e *Search) Run(dag *te.DAG, init []*ir.State, scorer Scorer, out int) []*ir.State {
+	if len(init) == 0 {
+		return nil
+	}
+	pop := append([]*ir.State(nil), init...)
+	type scored struct {
+		s     *ir.State
+		score float64
+	}
+	best := map[string]scored{}
+	record := func(states []*ir.State, scores []float64) {
+		for i, s := range states {
+			sig := s.Signature()
+			if b, ok := best[sig]; !ok || scores[i] > b.score {
+				best[sig] = scored{s, scores[i]}
+			}
+		}
+	}
+	scores := scorer.Score(pop)
+	record(pop, scores)
+	for gen := 0; gen < e.Cfg.Generations; gen++ {
+		next := e.elites(pop, scores)
+		sel := newRoulette(scores, e.rng)
+		guard := 0
+		for len(next) < e.Cfg.PopulationSize && guard < 20*e.Cfg.PopulationSize {
+			guard++
+			var child *ir.State
+			if e.rng.Float64() < e.Cfg.CrossoverProb && len(pop) >= 2 {
+				a, b := pop[sel.pick()], pop[sel.pick()]
+				child = e.crossover(dag, a, b, scorer)
+			} else {
+				child = e.mutate(dag, pop[sel.pick()])
+			}
+			if child != nil {
+				next = append(next, child)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		pop = next
+		scores = scorer.Score(pop)
+		record(pop, scores)
+	}
+	// Return the top `out` distinct programs.
+	all := make([]scored, 0, len(best))
+	for _, b := range best {
+		all = append(all, b)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
+	if out > len(all) {
+		out = len(all)
+	}
+	res := make([]*ir.State, out)
+	for i := 0; i < out; i++ {
+		res[i] = all[i].s
+	}
+	return res
+}
+
+// elites returns the top EliteCount programs of the current population.
+func (e *Search) elites(pop []*ir.State, scores []float64) []*ir.State {
+	idx := make([]int, len(pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	n := e.Cfg.EliteCount
+	if n > len(pop) {
+		n = len(pop)
+	}
+	out := make([]*ir.State, n)
+	for i := 0; i < n; i++ {
+		out[i] = pop[idx[i]]
+	}
+	return out
+}
+
+// roulette implements fitness-proportional selection with a shift making
+// all weights positive.
+type roulette struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+func newRoulette(scores []float64, rng *rand.Rand) *roulette {
+	min := 0.0
+	for _, s := range scores {
+		if s < min {
+			min = s
+		}
+	}
+	cum := make([]float64, len(scores))
+	total := 0.0
+	for i, s := range scores {
+		total += s - min + 1e-6
+		cum[i] = total
+	}
+	return &roulette{cum: cum, rng: rng}
+}
+
+func (r *roulette) pick() int {
+	if len(r.cum) == 0 {
+		return 0
+	}
+	x := r.rng.Float64() * r.cum[len(r.cum)-1]
+	return sort.SearchFloat64s(r.cum, x)
+}
+
+// mutate applies one randomly chosen evolution operation to a copy of the
+// parent's steps and replays; nil on invalid offspring.
+func (e *Search) mutate(dag *te.DAG, parent *ir.State) *ir.State {
+	steps := cloneSteps(parent.Steps)
+	ok := false
+	switch e.rng.Intn(5) {
+	case 0:
+		ok = e.mutateTileSize(steps)
+	case 1:
+		ok = e.mutateAnnotation(steps)
+	case 2:
+		ok = e.mutateParallelGranularity(steps)
+	case 3:
+		ok = e.mutateComputeLocation(steps)
+	case 4:
+		ok = e.mutatePragma(steps)
+	}
+	if !ok {
+		return nil
+	}
+	s, err := ir.Replay(dag, steps)
+	if err != nil || !s.Complete() || s.Validate() != nil {
+		return nil
+	}
+	return s
+}
+
+func cloneSteps(steps []ir.Step) []ir.Step {
+	out := make([]ir.Step, len(steps))
+	for i, s := range steps {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// mutateTileSize implements the paper's tile size mutation: divide one
+// tile level by a factor and multiply another level of the same axis by
+// the same factor, keeping the product equal to the loop length.
+func (e *Search) mutateTileSize(steps []ir.Step) bool {
+	var tiles []*ir.MultiLevelTileStep
+	var rfs []*ir.RFactorStep
+	for _, s := range steps {
+		switch t := s.(type) {
+		case *ir.MultiLevelTileStep:
+			if t.SpaceFactors != nil {
+				tiles = append(tiles, t)
+			}
+		case *ir.RFactorStep:
+			rfs = append(rfs, t)
+		}
+	}
+	if len(tiles) == 0 && len(rfs) == 0 {
+		return false
+	}
+	if len(rfs) > 0 && (len(tiles) == 0 || e.rng.Float64() < 0.2) {
+		// Mutate an rfactor split factor.
+		rf := rfs[e.rng.Intn(len(rfs))]
+		if e.rng.Intn(2) == 0 {
+			rf.Factor *= 2
+		} else if rf.Factor%2 == 0 {
+			rf.Factor /= 2
+		}
+		return rf.Factor >= 2
+	}
+	t := tiles[e.rng.Intn(len(tiles))]
+	all := [][][]int{t.SpaceFactors, t.ReduceFactors}
+	group := all[e.rng.Intn(2)]
+	if len(group) == 0 {
+		group = t.SpaceFactors
+	}
+	if len(group) == 0 {
+		return false
+	}
+	fs := group[e.rng.Intn(len(group))]
+	if len(fs) == 0 {
+		return false
+	}
+	// Pick a source level with a factor > 1 and move a divisor of it to
+	// another level (or to the derived outer level by just dividing).
+	srcCandidates := []int{}
+	for i, f := range fs {
+		if f > 1 {
+			srcCandidates = append(srcCandidates, i)
+		}
+	}
+	if len(srcCandidates) == 0 {
+		// All inner levels are 1: steal from the derived outer level by
+		// multiplying one inner level (replay checks divisibility).
+		fs[e.rng.Intn(len(fs))] *= []int{2, 3, 4}[e.rng.Intn(3)]
+		return true
+	}
+	src := srcCandidates[e.rng.Intn(len(srcCandidates))]
+	ds := anno.Divisors(fs[src])
+	f := ds[1+e.rng.Intn(len(ds)-1)] // a divisor > 1
+	fs[src] /= f
+	if e.rng.Intn(len(fs)+1) > 0 { // sometimes move to outer (derived)
+		dst := e.rng.Intn(len(fs))
+		fs[dst] *= f
+	}
+	return true
+}
+
+// mutateAnnotation rewrites one annotation step's kind.
+func (e *Search) mutateAnnotation(steps []ir.Step) bool {
+	var anns []*ir.AnnotateStep
+	for _, s := range steps {
+		if a, ok := s.(*ir.AnnotateStep); ok {
+			anns = append(anns, a)
+		}
+	}
+	if len(anns) == 0 {
+		return false
+	}
+	a := anns[e.rng.Intn(len(anns))]
+	choices := []ir.Annotation{ir.AnnNone, ir.AnnVectorize, ir.AnnUnroll, ir.AnnParallel}
+	a.Ann = choices[e.rng.Intn(len(choices))]
+	return true
+}
+
+// mutateParallelGranularity changes how many outer loops are fused for
+// the parallel annotation (the paper's parallel granularity mutation).
+func (e *Search) mutateParallelGranularity(steps []ir.Step) bool {
+	for _, s := range steps {
+		if f, ok := s.(*ir.FuseStep); ok && f.First == 0 {
+			if e.rng.Intn(2) == 0 {
+				f.Count++
+			} else if f.Count > 2 {
+				f.Count--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// mutateComputeLocation moves the fusion point of a fused consumer.
+func (e *Search) mutateComputeLocation(steps []ir.Step) bool {
+	var fcs []*ir.FuseConsumerStep
+	for _, s := range steps {
+		if f, ok := s.(*ir.FuseConsumerStep); ok {
+			fcs = append(fcs, f)
+		}
+	}
+	if len(fcs) == 0 {
+		return false
+	}
+	f := fcs[e.rng.Intn(len(fcs))]
+	if e.rng.Intn(2) == 0 && f.OuterLevels > 1 {
+		f.OuterLevels--
+	} else {
+		f.OuterLevels++
+	}
+	return true
+}
+
+// mutatePragma rewrites an auto_unroll_max_step pragma.
+func (e *Search) mutatePragma(steps []ir.Step) bool {
+	candidates := []int{0, 16, 64, 512}
+	for _, s := range steps {
+		if p, ok := s.(*ir.PragmaStep); ok {
+			p.AutoUnrollMax = candidates[e.rng.Intn(len(candidates))]
+			return true
+		}
+	}
+	return false
+}
+
+// crossover merges two parents at node granularity (§5.1): for every node
+// tag, the steps of the parent whose node scores higher are kept. Parent
+// A's step sequence is the template; steps of tags donated by B are
+// substituted positionally with B's same-type steps of that tag.
+func (e *Search) crossover(dag *te.DAG, a, b *ir.State, scorer Scorer) *ir.State {
+	scoreA := scorer.NodeScores(a)
+	scoreB := scorer.NodeScores(b)
+	donorB := map[string]bool{}
+	tags := map[string]bool{}
+	for _, s := range a.Steps {
+		tags[ir.BaseStage(s.StageName())] = true
+	}
+	for tag := range tags {
+		switch {
+		case scoreA == nil || scoreB == nil:
+			donorB[tag] = e.rng.Intn(2) == 0
+		default:
+			donorB[tag] = scoreB[tag] > scoreA[tag]
+		}
+	}
+	// Index B's steps by (tag, type, ordinal).
+	type key struct {
+		tag  string
+		kind string
+	}
+	bSteps := map[key][]ir.Step{}
+	for _, s := range b.Steps {
+		k := key{ir.BaseStage(s.StageName()), s.Name()}
+		bSteps[k] = append(bSteps[k], s)
+	}
+	taken := map[key]int{}
+	steps := make([]ir.Step, 0, len(a.Steps))
+	for _, s := range a.Steps {
+		tag := ir.BaseStage(s.StageName())
+		if donorB[tag] {
+			k := key{tag, s.Name()}
+			if i := taken[k]; i < len(bSteps[k]) {
+				taken[k] = i + 1
+				steps = append(steps, bSteps[k][i].Clone())
+				continue
+			}
+		}
+		steps = append(steps, s.Clone())
+	}
+	child, err := ir.Replay(dag, steps)
+	if err != nil || !child.Complete() || child.Validate() != nil {
+		return nil
+	}
+	return child
+}

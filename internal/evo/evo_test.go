@@ -1,0 +1,169 @@
+package evo
+
+import (
+	"testing"
+
+	"repro/internal/anno"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+	"repro/internal/te"
+)
+
+func matmulReLU(n, m, k int) *te.DAG {
+	b := te.NewBuilder("matmul_relu")
+	a := b.Input("A", n, k)
+	c := b.Matmul(a, m, true)
+	b.ReLU(c)
+	return b.MustFinish()
+}
+
+// oracleScorer scores with the exact simulator (negated time): the upper
+// bound of what a learned cost model could provide.
+type oracleScorer struct{ m *sim.Machine }
+
+func (o oracleScorer) Score(states []*ir.State) []float64 {
+	out := make([]float64, len(states))
+	for i, s := range states {
+		low, err := ir.Lower(s)
+		if err != nil {
+			out[i] = -1e30
+			continue
+		}
+		out[i] = -o.m.Time(low)
+	}
+	return out
+}
+func (o oracleScorer) NodeScores(s *ir.State) map[string]float64 { return nil }
+
+func initPop(t *testing.T, d *te.DAG, n int, seed int64) []*ir.State {
+	t.Helper()
+	sk, err := sketch.NewGenerator(sketch.CPUTarget()).Generate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return anno.NewSampler(sketch.CPUTarget(), seed).SamplePopulation(sk, n)
+}
+
+func bestTime(m *sim.Machine, states []*ir.State) float64 {
+	best := 1e30
+	for _, s := range states {
+		low, err := ir.Lower(s)
+		if err != nil {
+			continue
+		}
+		if t := m.Time(low); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+func TestEvolutionImprovesOnRandom(t *testing.T) {
+	d := matmulReLU(512, 512, 512)
+	m := sim.IntelXeon()
+	pop := initPop(t, d, 64, 1)
+	randBest := bestTime(m, pop)
+	search := NewSearch(Config{PopulationSize: 64, Generations: 6, CrossoverProb: 0.15, EliteCount: 8, Seed: 2})
+	out := search.Run(d, pop, oracleScorer{m}, 16)
+	if len(out) == 0 {
+		t.Fatal("evolution returned no programs")
+	}
+	evoBest := bestTime(m, out)
+	if evoBest >= randBest {
+		t.Errorf("evolution best %.4g not better than random best %.4g", evoBest, randBest)
+	}
+	t.Logf("random %.4g -> evolved %.4g (%.2fx)", randBest, evoBest, randBest/evoBest)
+}
+
+func TestOffspringAreValidAndComplete(t *testing.T) {
+	d := matmulReLU(256, 256, 256)
+	m := sim.IntelXeon()
+	pop := initPop(t, d, 32, 3)
+	search := NewSearch(Config{PopulationSize: 48, Generations: 3, CrossoverProb: 0.3, EliteCount: 4, Seed: 4})
+	out := search.Run(d, pop, oracleScorer{m}, 32)
+	for i, s := range out {
+		if !s.Complete() {
+			t.Fatalf("offspring %d incomplete", i)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("offspring %d invalid: %v", i, err)
+		}
+		// Replaying the steps must reproduce the program.
+		r, err := ir.Replay(d, s.Steps)
+		if err != nil {
+			t.Fatalf("offspring %d not replayable: %v", i, err)
+		}
+		if r.Signature() != s.Signature() {
+			t.Fatalf("offspring %d replay mismatch", i)
+		}
+		// Iteration volume must be preserved through all mutations.
+		low, err := ir.Lower(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, stmt := range low.Stmts {
+			if stmt.Stage.Name == "matmul" && stmt.IterCount() != 256*256*256 {
+				t.Fatalf("offspring %d matmul itercount = %d", i, stmt.IterCount())
+			}
+		}
+	}
+}
+
+func TestTileSizeMutationKeepsProduct(t *testing.T) {
+	d := matmulReLU(512, 512, 512)
+	pop := initPop(t, d, 4, 5)
+	e := NewSearch(Config{Seed: 6, PopulationSize: 4, Generations: 1, EliteCount: 1})
+	hits := 0
+	for i := 0; i < 200; i++ {
+		steps := cloneSteps(pop[i%len(pop)].Steps)
+		if !e.mutateTileSize(steps) {
+			continue
+		}
+		s, err := ir.Replay(d, steps)
+		if err != nil {
+			continue // rejected by validity check, as designed
+		}
+		hits++
+		if s.Stage("matmul") != nil {
+			// Validate enforces that per-axis extents still multiply to
+			// the axis extents.
+			if err := s.Validate(); err != nil {
+				t.Fatalf("mutated program invalid: %v", err)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no successful tile-size mutations in 200 attempts")
+	}
+}
+
+func TestCrossoverMergesParents(t *testing.T) {
+	d := matmulReLU(512, 512, 512)
+	pop := initPop(t, d, 8, 7)
+	e := NewSearch(Config{Seed: 8, PopulationSize: 8, Generations: 1, EliteCount: 1})
+	m := sim.IntelXeon()
+	ok := 0
+	for i := 0; i+1 < len(pop); i++ {
+		if c := e.crossover(d, pop[i], pop[i+1], oracleScorer{m}); c != nil {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Error("crossover never produced a valid child")
+	}
+}
+
+func TestRouletteFavorsHighScores(t *testing.T) {
+	e := NewSearch(Config{Seed: 9})
+	r := newRoulette([]float64{0.1, 0.1, 10}, e.rng)
+	count := 0
+	for i := 0; i < 1000; i++ {
+		if r.pick() == 2 {
+			count++
+		}
+	}
+	if count < 800 {
+		t.Errorf("high-fitness program picked only %d/1000 times", count)
+	}
+}

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func tinyConfig() Config {
+	return Config{Trials: 32, PerRound: 16, Seed: 1, Noise: 0.02}
+}
+
+func TestFig3Shape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Trials = 30 // 600 programs
+	r := Fig3(cfg)
+	if len(r.CompletionRates) != 6 {
+		t.Fatalf("want 6 curve points, got %d", len(r.CompletionRates))
+	}
+	// At completion 0 the model has only op counts: near-chance ranking.
+	// At completion 1 it must rank well. The paper's curves rise from
+	// ~0.5 / ~0 to high values.
+	first, last := r.PairwiseAcc[0], r.PairwiseAcc[len(r.PairwiseAcc)-1]
+	if last < 0.7 {
+		t.Errorf("complete-program pairwise accuracy %.3f, want >= 0.7", last)
+	}
+	if last-first < 0.1 {
+		t.Errorf("accuracy should rise with completion: %.3f -> %.3f", first, last)
+	}
+	if r.TopKRecall[len(r.TopKRecall)-1] <= r.TopKRecall[0] {
+		t.Errorf("recall should rise with completion: %v", r.TopKRecall)
+	}
+}
+
+func TestFig6SubsetShape(t *testing.T) {
+	// A reduced Fig-6: verify Ansor wins the exotic ops where the paper
+	// reports its largest speedups (NRM via rfactor, T2D via tile
+	// structure + zero elision).
+	cfg := tinyConfig()
+	cfg.Trials = 100
+	cfg.PerRound = 20
+	r := Fig6(cfg, 1)
+	if len(r.Rows) != 10 {
+		t.Fatalf("want 10 operator rows, got %d", len(r.Rows))
+	}
+	byOp := map[string]NormalizedRow{}
+	for _, row := range r.Rows {
+		byOp[row.Case] = row
+	}
+	for _, op := range []string{"NRM", "T2D"} {
+		row := byOp[op]
+		if row.Perf[FwAnsor] < 0.99 {
+			t.Errorf("%s: Ansor %.2f should be the best framework (best=%s)",
+				op, row.Perf[FwAnsor], row.BestFw)
+		}
+	}
+	// At this reduced budget Ansor should already lead most families; at
+	// paper scale (1000 trials) it wins 19/20 — see EXPERIMENTS.md.
+	if n := r.AnsorBestCount(); n < 7 {
+		t.Errorf("Ansor best on only %d/10 op families; paper shape is ~19/20", n)
+	}
+}
+
+func TestFig9ARMPanel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Trials = 8 // per task; keep the test fast
+	cfg.PerRound = 8
+	r := Fig9Panel(cfg, "arm", 1)
+	if len(r.Rows) != 5 {
+		t.Fatalf("want 5 networks, got %d", len(r.Rows))
+	}
+	byNet := map[string]NormalizedRow{}
+	for _, row := range r.Rows {
+		byNet[row.Case] = row
+	}
+	// TFLite lacks 3D-ResNet and DCGAN kernels on ARM (§7.3).
+	if byNet["3D-ResNet-18"].Perf[FwTFLite] != 0 || byNet["DCGAN"].Perf[FwTFLite] != 0 {
+		t.Error("TFLite should be n/a on 3D-ResNet and DCGAN")
+	}
+	if byNet["ResNet-50"].Perf[FwTFLite] == 0 {
+		t.Error("TFLite should support ResNet-50")
+	}
+}
+
+func TestTuneNetworksSharedTasks(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Trials = 4
+	cfg.PerRound = 4
+	nets := []workloads.Network{workloads.MobileNetV2(1), workloads.MobileNetV2(1)}
+	r := TuneNetworks(nets, IntelPlatform(true), cfg, VariantAnsor, cfg.Trials)
+	if len(r.Latencies) != 2 {
+		t.Fatalf("want 2 network latencies, got %d", len(r.Latencies))
+	}
+	// Identical networks share all tasks: equal latencies.
+	if r.Latencies[0] != r.Latencies[1] {
+		t.Errorf("shared-task networks should have equal latency: %g vs %g",
+			r.Latencies[0], r.Latencies[1])
+	}
+}
+
+func TestVendorNetworkTimes(t *testing.T) {
+	plat := IntelPlatform(true)
+	for _, net := range workloads.AllNetworks(1) {
+		if tm := VendorNetworkTime(net, plat, "PyTorch"); tm <= 0 {
+			t.Errorf("%s: vendor time %g", net.Name, tm)
+		}
+	}
+}
+
+func TestFig7CurvesShape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Trials = 240
+	r := Fig7(cfg, 1)
+	ansor := r.Curves[V7Ansor]
+	if len(ansor.Trials) == 0 {
+		t.Fatal("empty Ansor curve")
+	}
+	// The paper's ordering: Ansor ends highest; beam search ends lowest
+	// among the search variants (aggressive early pruning).
+	if ansor.Final < r.Curves[V7BeamSearch].Final {
+		t.Errorf("Ansor final %.3f below beam search %.3f",
+			ansor.Final, r.Curves[V7BeamSearch].Final)
+	}
+	if ansor.Final < r.Curves[V7LimitedSpace].Final {
+		t.Errorf("Ansor final %.3f below limited space %.3f",
+			ansor.Final, r.Curves[V7LimitedSpace].Final)
+	}
+	// Curves are non-decreasing (best-so-far).
+	for i := 1; i < len(ansor.Perf); i++ {
+		if ansor.Perf[i]+1e-9 < ansor.Perf[i-1] {
+			t.Fatal("best-so-far curve must be non-decreasing")
+		}
+	}
+}
+
+func TestFig10SinglePanel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Trials = 10 // per task
+	cfg.PerRound = 10
+	r := Fig10Panel(cfg, []workloads.Network{workloads.DCGAN(1)}, 2)
+	ansor := r.Curves[VariantAnsor]
+	if len(ansor.Trials) == 0 {
+		t.Fatal("empty curve")
+	}
+	if ansor.Final <= 0 {
+		t.Fatal("no final speedup recorded")
+	}
+	// The no-fine-tuning variant should not beat full Ansor.
+	if noft := r.Curves[VariantNoFineTuning]; noft.Final > ansor.Final*1.15 {
+		t.Errorf("no-fine-tuning (%.3f) markedly above Ansor (%.3f)", noft.Final, ansor.Final)
+	}
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"math"
+
+	"repro/internal/workloads"
+)
+
+// Fig10Curve is one tuning curve of Figure 10: geometric-mean speedup
+// over the AutoTVM reference, vs measurement trials.
+type Fig10Curve struct {
+	Variant NetVariant
+	Trials  []int
+	Speedup []float64
+	Final   float64
+	// MatchTrials is the first trial count at which the variant matched
+	// the AutoTVM reference (speedup >= 1); 0 if never (§7.3's "10x less
+	// measurement trials" claim for Ansor).
+	MatchTrials int
+}
+
+// Fig10Result holds one panel of Figure 10.
+type Fig10Result struct {
+	Networks      []string
+	AutoTVMTrials int
+	Curves        map[NetVariant]Fig10Curve
+}
+
+// Fig10Panel reproduces one panel of Figure 10: tuning the given networks
+// with four variants of Ansor, reporting speedup relative to the AutoTVM
+// reference. The AutoTVM reference gets refBudgetFactor× the variants'
+// per-task budget, mirroring the paper's 30k/50k-trial references versus
+// Ansor's ~10× smaller budgets.
+func Fig10Panel(cfg Config, nets []workloads.Network, refBudgetFactor int) Fig10Result {
+	plat := IntelPlatform(true)
+	if refBudgetFactor < 1 {
+		refBudgetFactor = 1
+	}
+	ref := TuneNetworks(nets, plat, cfg, VariantAutoTVM, cfg.Trials*refBudgetFactor)
+
+	res := Fig10Result{AutoTVMTrials: ref.Trials, Curves: map[NetVariant]Fig10Curve{}}
+	for _, n := range nets {
+		res.Networks = append(res.Networks, n.Name)
+	}
+	speedup := func(lats []float64) float64 {
+		var ratios []float64
+		for j, l := range lats {
+			if math.IsInf(l, 1) || l <= 0 {
+				return 0
+			}
+			ratios = append(ratios, ref.Latencies[j]/l)
+		}
+		return geomean(ratios)
+	}
+	variants := []NetVariant{VariantAnsor, VariantNoTaskScheduler, VariantNoFineTuning, VariantLimitedSpace}
+	for _, v := range variants {
+		c := cfg
+		c.Seed = cfg.Seed + 313
+		r := TuneNetworks(nets, plat, c, v, cfg.Trials)
+		curve := Fig10Curve{Variant: v}
+		for _, pt := range r.Curve {
+			s := speedup(pt.Latencies)
+			curve.Trials = append(curve.Trials, pt.Trials)
+			curve.Speedup = append(curve.Speedup, s)
+			if curve.MatchTrials == 0 && s >= 1 {
+				curve.MatchTrials = pt.Trials
+			}
+		}
+		if n := len(curve.Speedup); n > 0 {
+			curve.Final = curve.Speedup[n-1]
+		}
+		res.Curves[v] = curve
+	}
+
+	cfg.printf("\nFigure 10: task-scheduler ablation on %v (AutoTVM reference: %d trials)\n",
+		res.Networks, res.AutoTVMTrials)
+	cfg.printf("%-10s", "trials")
+	for _, v := range variants {
+		cfg.printf("%20s", v)
+	}
+	cfg.printf("\n")
+	ac := res.Curves[VariantAnsor]
+	for i := range ac.Trials {
+		cfg.printf("%-10d", ac.Trials[i])
+		for _, v := range variants {
+			cv := res.Curves[v]
+			if i < len(cv.Speedup) {
+				cfg.printf("%20.3f", cv.Speedup[i])
+			} else {
+				cfg.printf("%20s", "-")
+			}
+		}
+		cfg.printf("\n")
+	}
+	if ac.MatchTrials > 0 {
+		cfg.printf("Ansor matched the AutoTVM reference after %d trials (reference used %d; %.1fx fewer)\n",
+			ac.MatchTrials, res.AutoTVMTrials, float64(res.AutoTVMTrials)/float64(ac.MatchTrials))
+	}
+	return res
+}
+
+// Fig10 runs both panels: MobileNet-V2 alone, then MobileNet-V2 +
+// ResNet-50 jointly (§7.3).
+func Fig10(cfg Config, batch int, refBudgetFactor int) []Fig10Result {
+	left := Fig10Panel(cfg, []workloads.Network{workloads.MobileNetV2(batch)}, refBudgetFactor)
+	right := Fig10Panel(cfg, []workloads.Network{
+		workloads.MobileNetV2(batch), workloads.ResNet50(batch),
+	}, refBudgetFactor)
+	return []Fig10Result{left, right}
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// Fig6Result holds the single-operator benchmark of Figure 6: per
+// operator family (geomean over its four shapes), normalized throughput
+// per framework, for one batch size.
+type Fig6Result struct {
+	Batch      int
+	Frameworks []Framework
+	Rows       []NormalizedRow // one per operator family
+}
+
+// AnsorBestCount returns on how many operator families Ansor is within
+// 2% of the best framework (the paper: 19 of 20 across both batches).
+func (r Fig6Result) AnsorBestCount() int { return wins(r.Rows, FwAnsor, 0.02) }
+
+// Fig6 reproduces Figure 6 for one batch size: the 10 single operators,
+// 4 shapes each, PyTorch vs the search frameworks on the Intel CPU with
+// AVX-512 disabled for the search frameworks (§7.1).
+func Fig6(cfg Config, batch int) Fig6Result {
+	plat := IntelPlatform(false)
+	fws := []Framework{FwPyTorch, FwHalide, FwFlexTensor, FwAutoTVM, FwAnsor}
+	res := Fig6Result{Batch: batch, Frameworks: fws}
+
+	cases := workloads.SingleOps(batch)
+	byOp := map[string][]workloads.Workload{}
+	for _, w := range cases {
+		byOp[w.Op] = append(byOp[w.Op], w)
+	}
+	for _, op := range workloads.OpNames() {
+		// Geomean throughput per framework over the op's shapes.
+		lat := map[Framework]float64{}
+		for _, fw := range fws {
+			var tput []float64
+			for i, w := range byOp[op] {
+				d := w.Build()
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)*131
+				t := searchFramework(fw, d, plat, c)
+				if t <= 0 {
+					tput = append(tput, 0)
+					continue
+				}
+				tput = append(tput, d.TotalFlops()/t)
+			}
+			g := geomean(tput)
+			if g > 0 {
+				lat[fw] = 1 / g // pseudo-latency for normalization
+			}
+		}
+		res.Rows = append(res.Rows, normalizeRow(op, lat))
+	}
+	printRows(cfg, fmt.Sprintf("Figure 6: single operators, batch=%d, Intel CPU", batch), fws, res.Rows)
+	cfg.printf("Ansor best or tied on %d/%d operator families\n", res.AnsorBestCount(), len(res.Rows))
+	return res
+}
+
+// Fig8Result holds the subgraph benchmark of Figure 8.
+type Fig8Result struct {
+	Batch      int
+	Frameworks []Framework
+	Rows       []NormalizedRow // ConvLayer@C, ConvLayer@G, TBG@C, TBG@G
+}
+
+// Fig8 reproduces Figure 8 for one batch size: the ConvLayer and TBG
+// subgraphs on the Intel CPU and the NVIDIA GPU (no Halide on GPU, §7.2).
+func Fig8(cfg Config, batch int) Fig8Result {
+	fws := []Framework{FwPyTorch, FwHalide, FwFlexTensor, FwAutoTVM, FwAnsor}
+	res := Fig8Result{Batch: batch, Frameworks: fws}
+	subs := workloads.Subgraphs(batch)
+	byOp := map[string][]workloads.Workload{}
+	for _, w := range subs {
+		byOp[w.Op] = append(byOp[w.Op], w)
+	}
+	for _, plat := range []Platform{IntelPlatform(false), GPUPlatform()} {
+		suffix := "@C"
+		if plat.Machine.GPU {
+			suffix = "@G"
+		}
+		for _, op := range []string{"ConvLayer", "TBG"} {
+			lat := map[Framework]float64{}
+			for _, fw := range fws {
+				if fw == FwHalide && plat.Machine.GPU {
+					continue // experimental GPU support not evaluated (§7.2)
+				}
+				var tput []float64
+				for i, w := range byOp[op] {
+					d := w.Build()
+					c := cfg
+					c.Seed = cfg.Seed + int64(i)*173
+					t := searchFramework(fw, d, plat, c)
+					if t <= 0 {
+						tput = append(tput, 0)
+						continue
+					}
+					tput = append(tput, d.TotalFlops()/t)
+				}
+				if g := geomean(tput); g > 0 {
+					lat[fw] = 1 / g
+				}
+			}
+			res.Rows = append(res.Rows, normalizeRow(op+suffix, lat))
+		}
+	}
+	printRows(cfg, fmt.Sprintf("Figure 8: subgraphs, batch=%d", batch), fws, res.Rows)
+	return res
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/workloads"
+)
+
+// Fig9Result holds one panel of Figure 9: the end-to-end network
+// benchmark on one platform and batch size.
+type Fig9Result struct {
+	Platform   string
+	Batch      int
+	Frameworks []Framework
+	Rows       []NormalizedRow // one per network
+}
+
+// AnsorBestCount returns on how many networks Ansor is best or tied
+// (within 2%).
+func (r Fig9Result) AnsorBestCount() int { return wins(r.Rows, FwAnsor, 0.02) }
+
+// Fig9Panel reproduces one panel of Figure 9 (one platform, one batch
+// size). cfg.Trials is interpreted per task; the paper uses 1000×n trials
+// for a network with n subgraphs. AVX-512 is enabled for all frameworks
+// on the CPU (§7.3).
+func Fig9Panel(cfg Config, platName string, batch int) Fig9Result {
+	var plat Platform
+	var fws []Framework
+	var vendorOf map[Framework]baselines.VendorFramework
+	switch platName {
+	case "intel":
+		plat = IntelPlatform(true)
+		fws = []Framework{FwPyTorch, FwTensorFlow, FwAutoTVM, FwAnsor}
+		vendorOf = map[Framework]baselines.VendorFramework{
+			FwPyTorch: baselines.PyTorch, FwTensorFlow: baselines.TensorFlow,
+		}
+	case "gpu":
+		plat = GPUPlatform()
+		fws = []Framework{FwPyTorch, FwTensorFlow, FwTensorRT, FwAutoTVM, FwAnsor}
+		vendorOf = map[Framework]baselines.VendorFramework{
+			FwPyTorch: baselines.PyTorch, FwTensorFlow: baselines.TensorFlow,
+			FwTensorRT: baselines.TensorRT,
+		}
+	case "arm":
+		plat = ARMPlatform()
+		fws = []Framework{FwTFLite, FwAutoTVM, FwAnsor}
+		vendorOf = map[Framework]baselines.VendorFramework{
+			FwTFLite: baselines.TFLite,
+		}
+	default:
+		panic("exp: unknown platform " + platName)
+	}
+	res := Fig9Result{Platform: plat.Name, Batch: batch, Frameworks: fws}
+
+	for _, net := range workloads.AllNetworks(batch) {
+		lat := map[Framework]float64{}
+		for fw, vf := range vendorOf {
+			lat[fw] = VendorNetworkTime(net, plat, vf)
+		}
+		one := []workloads.Network{net}
+		c := cfg
+		c.Seed = cfg.Seed + int64(len(res.Rows))*977
+		lat[FwAutoTVM] = TuneNetworks(one, plat, c, VariantAutoTVM, cfg.Trials).Latencies[0]
+		lat[FwAnsor] = TuneNetworks(one, plat, c, VariantAnsor, cfg.Trials).Latencies[0]
+		res.Rows = append(res.Rows, normalizeRow(net.Name, lat))
+	}
+	printRows(cfg, fmt.Sprintf("Figure 9 (%s), batch=%d", plat.Name, batch), fws, res.Rows)
+	cfg.printf("Ansor best or tied on %d/%d networks\n", res.AnsorBestCount(), len(res.Rows))
+	return res
+}
+
+// Fig9 runs all panels: Intel and GPU at batch 1 and 16, ARM at batch 1
+// (25 cases in total, §7.3).
+func Fig9(cfg Config) []Fig9Result {
+	var out []Fig9Result
+	for _, pb := range []struct {
+		plat  string
+		batch int
+	}{
+		{"intel", 1}, {"intel", 16},
+		{"gpu", 1}, {"gpu", 16},
+		{"arm", 1},
+	} {
+		out = append(out, Fig9Panel(cfg, pb.plat, pb.batch))
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/measure"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+// NetVariant names a network-tuning configuration (Figure 10's ablation).
+type NetVariant string
+
+const (
+	VariantAnsor           NetVariant = "Ansor"
+	VariantNoTaskScheduler NetVariant = "No task scheduler" // round-robin allocation
+	VariantNoFineTuning    NetVariant = "No fine-tuning"
+	VariantLimitedSpace    NetVariant = "Limited space"
+	VariantAutoTVM         NetVariant = "AutoTVM" // restricted space, round-robin
+)
+
+// NetCurvePoint is one point of a network tuning curve.
+type NetCurvePoint struct {
+	Trials    int
+	Latencies []float64 // per DNN (end-to-end, Σ w_i g_i); +Inf before warm-up
+}
+
+// NetTuneResult is the outcome of tuning one or more networks.
+type NetTuneResult struct {
+	Networks  []string
+	Latencies []float64 // final per-DNN latency
+	Curve     []NetCurvePoint
+	Trials    int
+}
+
+// TuneNetworks tunes a set of DNNs with the task scheduler (§6). Tasks
+// shared across networks are deduplicated by name. trialsPerTask scales
+// the budget: total trials ≈ trialsPerTask × number of unique tasks.
+func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
+	variant NetVariant, trialsPerTask int) NetTuneResult {
+	ms := measure.New(plat.Machine, cfg.Noise, cfg.Seed)
+
+	mk := func(task policy.Task, m *measure.Measurer, seed int64) (*policy.Policy, error) {
+		switch variant {
+		case VariantNoFineTuning:
+			return baselines.NewNoFineTuning(task, m, seed)
+		case VariantLimitedSpace:
+			return baselines.NewLimitedSpace(task, m, seed)
+		case VariantAutoTVM:
+			return baselines.NewAutoTVM(task, m, seed)
+		default:
+			return baselines.NewAnsor(task, m, seed)
+		}
+	}
+
+	// Deduplicate tasks across networks by name (§6: "a subgraph can
+	// also appear multiple times in a DNN or across different DNNs").
+	type slot struct {
+		tuner *policyTuner
+		index int
+	}
+	taskIndex := map[string]slot{}
+	var tuners []sched.Tuner
+	var dnns []sched.DNN
+	for _, net := range nets {
+		d := sched.DNN{Name: net.Name}
+		for i, task := range net.Tasks {
+			s, ok := taskIndex[task.Name]
+			if !ok {
+				dag := task.Build()
+				p, err := mk(policy.Task{
+					Name: task.Name, DAG: dag, Target: plat.Target, Weight: task.Weight,
+				}, ms, cfg.Seed+int64(len(tuners))*31)
+				if err != nil {
+					panic(err)
+				}
+				s = slot{
+					tuner: &policyTuner{p: p, perRound: cfg.PerRound, tag: task.Tag, flops: dag.TotalFlops()},
+					index: len(tuners),
+				}
+				taskIndex[task.Name] = s
+				tuners = append(tuners, s.tuner)
+			}
+			d.Tasks = append(d.Tasks, s.index)
+			d.Weights = append(d.Weights, float64(task.Weight))
+			_ = i
+		}
+		dnns = append(dnns, d)
+	}
+
+	opts := sched.DefaultOptions()
+	opts.Seed = cfg.Seed
+	opts.RoundRobin = variant == VariantNoTaskScheduler || variant == VariantAutoTVM
+
+	var obj sched.Objective = sched.F1{DNNs: dnns}
+	s := sched.New(tuners, obj, opts)
+
+	totalUnits := trialsPerTask * len(tuners) / cfg.PerRound
+	if totalUnits < len(tuners) {
+		totalUnits = len(tuners)
+	}
+	res := NetTuneResult{}
+	for _, net := range nets {
+		res.Networks = append(res.Networks, net.Name)
+	}
+	// Run unit by unit to record the curve.
+	for s.Units < totalUnits {
+		target := s.Units + 1
+		s.Run(target)
+		lats := make([]float64, len(dnns))
+		g := make([]float64, len(tuners))
+		for i, t := range tuners {
+			g[i] = t.BestLatency()
+		}
+		for j, d := range dnns {
+			lats[j] = d.Latency(g)
+		}
+		res.Curve = append(res.Curve, NetCurvePoint{Trials: ms.Trials, Latencies: lats})
+	}
+	if len(res.Curve) > 0 {
+		res.Latencies = res.Curve[len(res.Curve)-1].Latencies
+	} else {
+		res.Latencies = make([]float64, len(dnns))
+		for i := range res.Latencies {
+			res.Latencies[i] = math.Inf(1)
+		}
+	}
+	res.Trials = ms.Trials
+	return res
+}
+
+// VendorNetworkTime returns a vendor framework's end-to-end latency for a
+// network (sum of per-subgraph library times weighted by appearance), or
+// +Inf if the framework lacks kernels for some subgraph.
+func VendorNetworkTime(net workloads.Network, plat Platform, fw baselines.VendorFramework) float64 {
+	var total float64
+	for _, task := range net.Tasks {
+		d := task.Build()
+		if !baselines.VendorSupports(fw, d) {
+			return math.Inf(1)
+		}
+		total += float64(task.Weight) * baselines.VendorTime(plat.VendorMachine, fw, d)
+	}
+	return total
+}

@@ -1,0 +1,144 @@
+package feat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/anno"
+	"repro/internal/ir"
+	"repro/internal/sketch"
+	"repro/internal/te"
+)
+
+func matmulReLU(n, m, k int) *te.DAG {
+	b := te.NewBuilder("matmul_relu")
+	a := b.Input("A", n, k)
+	c := b.Matmul(a, m, true)
+	b.ReLU(c)
+	return b.MustFinish()
+}
+
+func sampleLowered(t *testing.T, seed int64) *ir.Lowered {
+	t.Helper()
+	d := matmulReLU(512, 512, 512)
+	sk, err := sketch.NewGenerator(sketch.CPUTarget()).Generate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := anno.NewSampler(sketch.CPUTarget(), seed)
+	pop := sp.SamplePopulation(sk, 1)
+	if len(pop) == 0 {
+		t.Fatal("no sample")
+	}
+	low, err := ir.Lower(pop[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return low
+}
+
+func TestExtractShape(t *testing.T) {
+	low := sampleLowered(t, 1)
+	vecs := Extract(low)
+	if len(vecs) != len(low.Stmts) {
+		t.Fatalf("got %d vectors for %d stmts", len(vecs), len(low.Stmts))
+	}
+	for i, v := range vecs {
+		if len(v) != Dim {
+			t.Fatalf("stmt %d: vector length %d, want %d", i, len(v), Dim)
+		}
+		for j, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("stmt %d feature %d is %g", i, j, x)
+			}
+			if x < 0 {
+				t.Fatalf("stmt %d feature %d negative: %g", i, j, x)
+			}
+		}
+	}
+}
+
+func TestFeaturesDistinguishSchedules(t *testing.T) {
+	a := Extract(sampleLowered(t, 1))
+	b := Extract(sampleLowered(t, 99))
+	same := true
+	for i := range a {
+		if i >= len(b) {
+			same = false
+			break
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different schedules should produce different features")
+	}
+}
+
+func TestAnnotationFeaturesReflectAnnotations(t *testing.T) {
+	// Build a schedule with a known parallel annotation and check the
+	// parallel group is populated.
+	d := matmulReLU(64, 64, 64)
+	s := ir.NewState(d)
+	s.MustApply(&ir.AnnotateStep{Stage: "matmul", IterIdx: 0, Ann: ir.AnnParallel})
+	low, err := ir.Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := Extract(low)
+	// Parallel group is the third annotation group.
+	parStart := floatOps + intOps + 2*annGroup
+	if vecs[0][parStart] == 0 {
+		t.Error("parallel loop length feature should be nonzero")
+	}
+	// No vectorization: vectorize group length is 0 and position one-hot
+	// is "None" (last slot).
+	vecStart := floatOps + intOps
+	if vecs[0][vecStart] != 0 {
+		t.Error("vectorize length should be 0 for unvectorized program")
+	}
+	if vecs[0][vecStart+3+7] != 1 {
+		t.Error("vectorize position one-hot should be None")
+	}
+}
+
+func TestFlopFeatures(t *testing.T) {
+	d := matmulReLU(64, 64, 64)
+	low, err := ir.Lower(ir.NewState(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := Extract(low)
+	// matmul stmt: mul count = 64^3 -> log2(64^3+1) ~ 18.
+	wantMul := math.Log2(64*64*64 + 1)
+	if got := vecs[0][2]; math.Abs(got-wantMul) > 1e-9 {
+		t.Errorf("mul feature = %g, want %g", got, wantMul)
+	}
+}
+
+func TestMaskStructure(t *testing.T) {
+	low := sampleLowered(t, 2)
+	v := Extract(low)[0]
+	rng := rand.New(rand.NewSource(1))
+	masked := MaskStructure(v, 0, rng)
+	for i := StructureGroupStart; i < len(masked); i++ {
+		if masked[i] != 0 {
+			t.Fatalf("rate-0 mask left feature %d = %g", i, masked[i])
+		}
+	}
+	for i := 0; i < StructureGroupStart; i++ {
+		if masked[i] != v[i] {
+			t.Fatal("op-count features must survive masking")
+		}
+	}
+	full := MaskStructure(v, 1, rng)
+	for i := range full {
+		if full[i] != v[i] {
+			t.Fatal("rate-1 mask should be the identity")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package ir
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Step serialization: a program is fully determined by its DAG plus its
+// step list (§5.1), so persisting the steps gives durable tuning logs
+// that can be replayed later (the equivalent of TVM's measure records).
+
+type stepEnvelope struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// stepFactories maps step kind names to empty instances for decoding.
+var stepFactories = map[string]func() Step{
+	"Inline":         func() Step { return &InlineStep{} },
+	"Split":          func() Step { return &SplitStep{} },
+	"Fuse":           func() Step { return &FuseStep{} },
+	"Reorder":        func() Step { return &ReorderStep{} },
+	"Annotate":       func() Step { return &AnnotateStep{} },
+	"Pragma":         func() Step { return &PragmaStep{} },
+	"LayoutRewrite":  func() Step { return &LayoutRewriteStep{} },
+	"MultiLevelTile": func() Step { return &MultiLevelTileStep{} },
+	"FuseConsumer":   func() Step { return &FuseConsumerStep{} },
+	"CacheWrite":     func() Step { return &CacheWriteStep{} },
+	"RFactor":        func() Step { return &RFactorStep{} },
+	"ComputeAt":      func() Step { return &ComputeAtStep{} },
+	"ComputeRoot":    func() Step { return &ComputeRootStep{} },
+}
+
+// EncodeSteps serializes a step list to JSON.
+func EncodeSteps(steps []Step) ([]byte, error) {
+	envs := make([]stepEnvelope, len(steps))
+	for i, s := range steps {
+		data, err := json.Marshal(s)
+		if err != nil {
+			return nil, fmt.Errorf("ir: encode step %d (%s): %w", i, s.Name(), err)
+		}
+		envs[i] = stepEnvelope{Kind: s.Name(), Data: data}
+	}
+	return json.Marshal(envs)
+}
+
+// DecodeSteps parses a step list serialized by EncodeSteps.
+func DecodeSteps(data []byte) ([]Step, error) {
+	var envs []stepEnvelope
+	if err := json.Unmarshal(data, &envs); err != nil {
+		return nil, fmt.Errorf("ir: decode steps: %w", err)
+	}
+	steps := make([]Step, len(envs))
+	for i, e := range envs {
+		mk, ok := stepFactories[e.Kind]
+		if !ok {
+			return nil, fmt.Errorf("ir: unknown step kind %q", e.Kind)
+		}
+		s := mk()
+		if err := json.Unmarshal(e.Data, s); err != nil {
+			return nil, fmt.Errorf("ir: decode %s step: %w", e.Kind, err)
+		}
+		steps[i] = s
+	}
+	return steps, nil
+}

@@ -1,0 +1,451 @@
+// Package ir implements Ansor's program representation: a loop state per
+// computation stage, plus a replayable list of transform steps.
+//
+// Every program Ansor considers is "the naive program of a DAG plus an
+// ordered list of rewriting steps" (§5.1: "the genes of a program in Ansor
+// are its rewriting steps"). States are only ever built by replaying steps,
+// which is what makes evolutionary crossover and mutation well-defined:
+// operators edit the step list and the system re-derives (and re-validates)
+// the loop nest from scratch.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/te"
+)
+
+// Annotation marks how a loop is executed.
+type Annotation int
+
+const (
+	AnnNone Annotation = iota
+	AnnParallel
+	AnnVectorize
+	AnnUnroll
+)
+
+func (a Annotation) String() string {
+	switch a {
+	case AnnParallel:
+		return "parallel"
+	case AnnVectorize:
+		return "vectorize"
+	case AnnUnroll:
+		return "unroll"
+	default:
+		return "for"
+	}
+}
+
+// Unfilled is the extent of a tile loop whose size has not been chosen yet.
+// Sketches contain Unfilled extents; complete programs do not (§4).
+const Unfilled = -1
+
+// mulExt multiplies extents, propagating Unfilled.
+func mulExt(a, b int) int {
+	if a == Unfilled || b == Unfilled {
+		return Unfilled
+	}
+	return a * b
+}
+
+// IterAtom identifies one tile piece of one original axis: which axis, at
+// which tile level (level 0 is outermost), with which extent.
+type IterAtom struct {
+	Axis   int // index into the stage node's Axes()
+	Level  int
+	Extent int
+}
+
+// Iter is one loop of a stage's loop nest. A fused loop carries several
+// atoms; a plain loop carries exactly one.
+type Iter struct {
+	Name   string
+	Extent int
+	Kind   te.AxisKind
+	Ann    Annotation
+	Atoms  []IterAtom // outer→inner order for fused loops
+}
+
+// clone returns a deep copy of the iter.
+func (it *Iter) clone() *Iter {
+	c := *it
+	c.Atoms = append([]IterAtom(nil), it.Atoms...)
+	return &c
+}
+
+// StageKind distinguishes original nodes from stages synthesized by steps.
+type StageKind int
+
+const (
+	StageNormal StageKind = iota
+	StageCache            // added by CacheWriteStep (rule 5)
+	StageRFactor
+)
+
+// Stage is the loop nest of one computation.
+type Stage struct {
+	Name string
+	Node *te.Node // synthesized for cache/rfactor stages
+	Kind StageKind
+
+	Iters   []*Iter
+	Inlined bool
+
+	// Attached stages nest inside AttachTarget after its AttachIdx-th loop.
+	Attached     bool
+	AttachTarget string
+	AttachIdx    int
+
+	// AutoUnrollMax is the auto_unroll_max_step pragma (§4.2, Appendix B).
+	AutoUnrollMax int
+
+	// TiledSpaceLevels records how many space tile levels a
+	// MultiLevelTileStep produced (0 = untiled); FuseConsumerStep needs it.
+	TiledSpaceLevels int
+
+	// PackedConst marks the stage's constant-tensor reads as rewritten to
+	// the cache-friendly layout matching the tile structure (§4.2's
+	// layout rewrite of constant tensors).
+	PackedConst bool
+}
+
+func (st *Stage) clone() *Stage {
+	c := *st
+	c.Iters = make([]*Iter, len(st.Iters))
+	for i, it := range st.Iters {
+		c.Iters[i] = it.clone()
+	}
+	return &c
+}
+
+// axisExtent returns the full extent of axis a of the stage's node.
+func (st *Stage) axisExtent(a int) int {
+	axes := st.Node.Axes()
+	return axes[a].Extent
+}
+
+// strideOf returns the product of extents of all atoms of the given axis
+// with a tile level strictly greater than level — i.e. the step in the
+// original axis value taken by one iteration of the (axis, level) loop.
+func (st *Stage) strideOf(axis, level int) int {
+	s := 1
+	for _, it := range st.Iters {
+		for _, at := range it.Atoms {
+			if at.Axis == axis && at.Level > level {
+				s = mulExt(s, at.Extent)
+			}
+		}
+	}
+	return s
+}
+
+// IterCount returns the product of all loop extents of the stage, or
+// Unfilled if any extent is unfilled.
+func (st *Stage) IterCount() int64 {
+	p := int64(1)
+	for _, it := range st.Iters {
+		if it.Extent == Unfilled {
+			return int64(Unfilled)
+		}
+		p *= int64(it.Extent)
+	}
+	return p
+}
+
+// Complete reports whether all loop extents are filled in.
+func (st *Stage) Complete() bool {
+	for _, it := range st.Iters {
+		if it.Extent == Unfilled {
+			return false
+		}
+	}
+	return true
+}
+
+// State is a (possibly partial) program: per-stage loop nests plus the
+// rewriting history that produced them.
+type State struct {
+	DAG    *te.DAG
+	Stages []*Stage
+	Steps  []Step
+}
+
+// NewState returns the naive program of the DAG: one stage per node, one
+// loop per axis (space then reduce), no annotations.
+func NewState(dag *te.DAG) *State {
+	s := &State{DAG: dag}
+	for _, n := range dag.Nodes {
+		s.Stages = append(s.Stages, naiveStage(n))
+	}
+	return s
+}
+
+func naiveStage(n *te.Node) *Stage {
+	st := &Stage{Name: n.Name, Node: n}
+	for i, a := range n.Axes() {
+		st.Iters = append(st.Iters, &Iter{
+			Name:   a.Name,
+			Extent: a.Extent,
+			Kind:   a.Kind,
+			Atoms:  []IterAtom{{Axis: i, Level: 0, Extent: a.Extent}},
+		})
+	}
+	return st
+}
+
+// Clone returns a deep copy of the state (steps are shared; they are
+// immutable after application).
+func (s *State) Clone() *State {
+	c := &State{DAG: s.DAG}
+	c.Stages = make([]*Stage, len(s.Stages))
+	for i, st := range s.Stages {
+		c.Stages[i] = st.clone()
+	}
+	c.Steps = append([]Step(nil), s.Steps...)
+	return c
+}
+
+// Stage returns the stage with the given name, or nil.
+func (s *State) Stage(name string) *Stage {
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return st
+		}
+	}
+	return nil
+}
+
+// StageIndex returns the index of the named stage, or -1.
+func (s *State) StageIndex(name string) int {
+	for i, st := range s.Stages {
+		if st.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ProducerStage returns the stage producing tensor t, or nil.
+func (s *State) ProducerStage(t *te.Tensor) *Stage {
+	for _, st := range s.Stages {
+		if st.Node.Out == t {
+			return st
+		}
+	}
+	return nil
+}
+
+// ConsumerStages returns the stages reading the output of st.
+func (s *State) ConsumerStages(st *Stage) []*Stage {
+	var out []*Stage
+	for _, c := range s.Stages {
+		if c == st {
+			continue
+		}
+		for _, a := range c.Node.Reads {
+			if a.Tensor == st.Node.Out {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EffectiveReads returns the stage's reads with inlined producers
+// substituted recursively, plus the extra per-iteration flop cost of the
+// inlined computation and the fraction of statically-zero multiplications
+// introduced by inlined predicated producers.
+func (s *State) EffectiveReads(st *Stage) ([]te.Access, te.FlopCount, float64) {
+	return s.effectiveReads(st, map[string]bool{})
+}
+
+func (s *State) effectiveReads(st *Stage, visiting map[string]bool) ([]te.Access, te.FlopCount, float64) {
+	visiting[st.Name] = true
+	defer delete(visiting, st.Name)
+	var out []te.Access
+	var extra te.FlopCount
+	nonZero := 1.0
+	for _, acc := range st.Node.Reads {
+		prod := s.ProducerStage(acc.Tensor)
+		if prod == nil || !prod.Inlined || visiting[prod.Name] {
+			out = append(out, acc)
+			continue
+		}
+		subReads, subExtra, subZF := s.effectiveReads(prod, visiting)
+		for _, sr := range subReads {
+			out = append(out, composeAccess(sr, acc))
+		}
+		pf := prod.Node.Flops
+		if prod.Node.Predicated {
+			// A code generator partitions loops so the predicate of an
+			// inlined boundary node (padding, zero-insertion) is only
+			// evaluated near the borders; charge the border fraction.
+			pf = scaleFlops(pf, 0.15)
+		}
+		extra = addFlops(extra, addFlops(subExtra, pf))
+		nonZero *= (1 - subZF) * (1 - prod.Node.ZeroFraction)
+	}
+	return out, extra, 1 - nonZero
+}
+
+func scaleFlops(f te.FlopCount, k float64) te.FlopCount {
+	return te.FlopCount{
+		AddF: f.AddF * k, SubF: f.SubF * k, MulF: f.MulF * k, DivF: f.DivF * k,
+		MaxF: f.MaxF * k, CmpF: f.CmpF * k, MathF: f.MathF * k, IntOps: f.IntOps * k,
+	}
+}
+
+// EffectiveConsumer returns the single non-inlined consumer of a stage,
+// looking through inlined elementwise stages; nil if the stage has zero or
+// multiple consumers at any link of the chain.
+func (s *State) EffectiveConsumer(st *Stage) *Stage {
+	for {
+		cons := s.ConsumerStages(st)
+		if len(cons) != 1 {
+			return nil
+		}
+		if !cons[0].Inlined {
+			return cons[0]
+		}
+		st = cons[0]
+	}
+}
+
+// Apply applies one step and records it in the rewriting history.
+func (s *State) Apply(step Step) error {
+	if err := step.Apply(s); err != nil {
+		return err
+	}
+	s.Steps = append(s.Steps, step)
+	return nil
+}
+
+// MustApply applies a step that is statically known to succeed.
+func (s *State) MustApply(step Step) {
+	if err := s.Apply(step); err != nil {
+		panic(fmt.Sprintf("ir: %v", err))
+	}
+}
+
+// Replay rebuilds a state from a DAG and a step list. This is the
+// verification path used after mutation and crossover (§5.1): a step list
+// that replays without error is a valid program.
+func Replay(dag *te.DAG, steps []Step) (*State, error) {
+	s := NewState(dag)
+	for i, step := range steps {
+		if err := s.Apply(step); err != nil {
+			return nil, fmt.Errorf("ir: replay step %d (%s): %w", i, step.Name(), err)
+		}
+	}
+	return s, nil
+}
+
+// Complete reports whether every stage of the state is complete (no
+// unfilled tile sizes). Sketches are incomplete; sampled programs are
+// complete (§4.2).
+func (s *State) Complete() bool {
+	for _, st := range s.Stages {
+		if st.Inlined {
+			continue
+		}
+		if !st.Complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants of the state: per-stage, the
+// product of filled tile extents of each axis equals the axis extent;
+// attach targets exist and indices are in range.
+func (s *State) Validate() error {
+	for _, st := range s.Stages {
+		if st.Inlined {
+			continue
+		}
+		// Each axis must be fully covered by its atoms.
+		prod := map[int]int{}
+		seen := map[[2]int]bool{}
+		for _, it := range s.iterList(st) {
+			for _, at := range it.Atoms {
+				key := [2]int{at.Axis, at.Level}
+				if seen[key] {
+					return fmt.Errorf("stage %s: duplicate atom axis=%d level=%d", st.Name, at.Axis, at.Level)
+				}
+				seen[key] = true
+				if p, ok := prod[at.Axis]; ok {
+					prod[at.Axis] = mulExt(p, at.Extent)
+				} else {
+					prod[at.Axis] = at.Extent
+				}
+			}
+		}
+		for a, p := range prod {
+			want := st.axisExtent(a)
+			if st.Attached {
+				// Attached stages have consumer-bounded extents;
+				// covered extents must not exceed the axis extent.
+				if p != Unfilled && p > want {
+					return fmt.Errorf("stage %s: axis %d covers %d > extent %d", st.Name, a, p, want)
+				}
+				continue
+			}
+			if p != Unfilled && p != want {
+				return fmt.Errorf("stage %s: axis %d covers %d, want %d", st.Name, a, p, want)
+			}
+		}
+		if st.Attached {
+			tgt := s.Stage(st.AttachTarget)
+			if tgt == nil {
+				return fmt.Errorf("stage %s: attach target %q missing", st.Name, st.AttachTarget)
+			}
+			if st.AttachIdx < 0 || st.AttachIdx >= len(tgt.Iters) {
+				return fmt.Errorf("stage %s: attach index %d out of range for %s (%d iters)",
+					st.Name, st.AttachIdx, tgt.Name, len(tgt.Iters))
+			}
+		}
+	}
+	return nil
+}
+
+// iterList returns the stage's iters (helper to keep Validate readable).
+func (s *State) iterList(st *Stage) []*Iter { return st.Iters }
+
+// Signature returns a short stable string identifying the program
+// structure and tile sizes; used for deduplication in search.
+func (s *State) Signature() string {
+	var b strings.Builder
+	for _, st := range s.Stages {
+		if st.Inlined {
+			fmt.Fprintf(&b, "%s:inl;", st.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "%s[", st.Name)
+		for _, it := range st.Iters {
+			fmt.Fprintf(&b, "%d%s,", it.Extent, annShort(it.Ann))
+		}
+		if st.Attached {
+			fmt.Fprintf(&b, "]@%s/%d;", st.AttachTarget, st.AttachIdx)
+		} else {
+			fmt.Fprintf(&b, "]u%d;", st.AutoUnrollMax)
+		}
+	}
+	return b.String()
+}
+
+func annShort(a Annotation) string {
+	switch a {
+	case AnnParallel:
+		return "p"
+	case AnnVectorize:
+		return "v"
+	case AnnUnroll:
+		return "u"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,87 @@
+// Package measure implements the measurer of Figure 4: it builds and
+// "runs" candidate programs on the target (the analytic machine model),
+// returning execution times that feed both the search and the cost-model
+// training data. Optional seeded noise models real-hardware jitter.
+package measure
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// Result is the outcome of measuring one program.
+type Result struct {
+	State   *ir.State
+	Lowered *ir.Lowered
+	// Seconds is the measured execution time (with noise); zero if invalid.
+	Seconds float64
+	// NoiselessSeconds is the model's exact time, used as ground truth in
+	// cost-model experiments.
+	NoiselessSeconds float64
+	Err              error
+}
+
+// GFLOPS returns the measured throughput.
+func (r Result) GFLOPS() float64 {
+	if r.Seconds <= 0 || r.Lowered == nil {
+		return 0
+	}
+	return r.Lowered.TotalFlops() / r.Seconds / 1e9
+}
+
+// Measurer measures batches of programs on one machine.
+type Measurer struct {
+	Machine *sim.Machine
+	// NoiseStd is the relative standard deviation of measurement noise
+	// (e.g. 0.02 for ±2% jitter). Noise is a deterministic function of
+	// the program, emulating repeatable per-program measurement bias.
+	NoiseStd float64
+	Seed     int64
+	// Trials counts measurements performed, the unit of search budget in
+	// all of §7's experiments.
+	Trials int
+}
+
+// New returns a measurer for the machine.
+func New(m *sim.Machine, noiseStd float64, seed int64) *Measurer {
+	return &Measurer{Machine: m, NoiseStd: noiseStd, Seed: seed}
+}
+
+// Measure lowers and times the given programs.
+func (ms *Measurer) Measure(states []*ir.State) []Result {
+	out := make([]Result, len(states))
+	for i, s := range states {
+		out[i] = ms.measureOne(s)
+	}
+	return out
+}
+
+func (ms *Measurer) measureOne(s *ir.State) Result {
+	ms.Trials++
+	low, err := ir.Lower(s)
+	if err != nil {
+		return Result{State: s, Err: err}
+	}
+	t := ms.Machine.Time(low)
+	noisy := t
+	if ms.NoiseStd > 0 {
+		noisy = t * ms.noiseFactor(s.Signature())
+	}
+	return Result{State: s, Lowered: low, Seconds: noisy, NoiselessSeconds: t}
+}
+
+// noiseFactor returns a deterministic lognormal-ish factor per program.
+func (ms *Measurer) noiseFactor(sig string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(sig))
+	var seed [8]byte
+	for i := range seed {
+		seed[i] = byte(ms.Seed >> (8 * i))
+	}
+	_, _ = h.Write(seed[:])
+	u := float64(h.Sum64()%1e6)/1e6*2 - 1 // [-1, 1)
+	return math.Exp(u * ms.NoiseStd)
+}

@@ -1,0 +1,124 @@
+package measure
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/te"
+)
+
+func matmulState(t *testing.T) *ir.State {
+	t.Helper()
+	b := te.NewBuilder("mm")
+	a := b.Input("A", 64, 64)
+	b.Matmul(a, 64, true)
+	return ir.NewState(b.MustFinish())
+}
+
+func TestMeasureCountsTrials(t *testing.T) {
+	ms := New(sim.IntelXeon(), 0, 1)
+	s := matmulState(t)
+	res := ms.Measure([]*ir.State{s, s, s})
+	if ms.Trials != 3 {
+		t.Errorf("trials = %d, want 3", ms.Trials)
+	}
+	for _, r := range res {
+		if r.Err != nil || r.Seconds <= 0 {
+			t.Errorf("bad result %+v", r)
+		}
+		if r.Seconds != r.NoiselessSeconds {
+			t.Error("zero-noise measurement should be exact")
+		}
+		if r.GFLOPS() <= 0 {
+			t.Error("throughput should be positive")
+		}
+	}
+}
+
+func TestMeasureNoiseBoundedAndDeterministic(t *testing.T) {
+	ms := New(sim.IntelXeon(), 0.05, 42)
+	s := matmulState(t)
+	r1 := ms.Measure([]*ir.State{s})[0]
+	r2 := ms.Measure([]*ir.State{s})[0]
+	if r1.Seconds != r2.Seconds {
+		t.Error("noise must be deterministic per program")
+	}
+	ratio := r1.Seconds / r1.NoiselessSeconds
+	if ratio < math.Exp(-0.05) || ratio > math.Exp(0.05) {
+		t.Errorf("noise factor %.4f outside e^±0.05", ratio)
+	}
+}
+
+func TestMeasureIncompleteProgramFails(t *testing.T) {
+	s := matmulState(t)
+	s.MustApply(&ir.MultiLevelTileStep{Stage: "matmul", Structure: "SSRSRS"})
+	ms := New(sim.IntelXeon(), 0, 1)
+	r := ms.Measure([]*ir.State{s})[0]
+	if r.Err == nil {
+		t.Error("incomplete program should fail to measure")
+	}
+	if r.GFLOPS() != 0 {
+		t.Error("failed measurement should report zero throughput")
+	}
+}
+
+func TestDifferentSeedsDifferentNoise(t *testing.T) {
+	s := matmulState(t)
+	a := New(sim.IntelXeon(), 0.05, 1).Measure([]*ir.State{s})[0]
+	b := New(sim.IntelXeon(), 0.05, 2).Measure([]*ir.State{s})[0]
+	if a.Seconds == b.Seconds {
+		t.Error("different measurer seeds should perturb differently")
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	b := te.NewBuilder("mm")
+	a := b.Input("A", 64, 64)
+	b.Matmul(a, 64, true)
+	d := b.MustFinish()
+	s := ir.NewState(d)
+	s.MustApply(&ir.AnnotateStep{Stage: "matmul", IterIdx: 0, Ann: ir.AnnParallel})
+
+	ms := New(sim.IntelXeon(), 0, 1)
+	res := ms.Measure([]*ir.State{s, ir.NewState(d)})
+	var log Log
+	log.AddAll("mm", res)
+	if len(log.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(log.Records))
+	}
+
+	var buf bytes.Buffer
+	if err := log.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, sec, err := loaded.BestFor("mm", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 || best == nil {
+		t.Fatal("bad best record")
+	}
+	// The replayed best must measure identically (deterministic sim).
+	r := ms.Measure([]*ir.State{best})[0]
+	if r.NoiselessSeconds != sec {
+		t.Errorf("replayed program measures %g, recorded %g", r.NoiselessSeconds, sec)
+	}
+	if _, _, err := loaded.BestFor("nope", d); err == nil {
+		t.Error("missing task should error")
+	}
+}
+
+func TestLogRejectsFailedResult(t *testing.T) {
+	var log Log
+	if err := log.Add("t", Result{Err: fmt.Errorf("boom")}); err == nil {
+		t.Error("failed result recorded")
+	}
+}

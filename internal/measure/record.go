@@ -1,0 +1,94 @@
+package measure
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/te"
+)
+
+// Record is one persisted measurement: the task it belongs to, the
+// program's rewriting steps (which fully determine it, §5.1), and the
+// measured time. Records are the durable tuning log — the equivalent of
+// TVM's measure records — so a finished search can be replayed without
+// re-measuring.
+type Record struct {
+	Task    string          `json:"task"`
+	Steps   json.RawMessage `json:"steps"`
+	Seconds float64         `json:"seconds"`
+}
+
+// Log is an append-only collection of records.
+type Log struct {
+	Records []Record `json:"records"`
+}
+
+// Add appends a successful measurement to the log.
+func (l *Log) Add(task string, r Result) error {
+	if r.Err != nil || r.Seconds <= 0 {
+		return fmt.Errorf("measure: cannot record failed measurement")
+	}
+	steps, err := ir.EncodeSteps(r.State.Steps)
+	if err != nil {
+		return err
+	}
+	l.Records = append(l.Records, Record{Task: task, Steps: steps, Seconds: r.Seconds})
+	return nil
+}
+
+// AddAll appends every successful result of a batch.
+func (l *Log) AddAll(task string, rs []Result) {
+	for _, r := range rs {
+		if r.Err == nil && r.Seconds > 0 {
+			_ = l.Add(task, r)
+		}
+	}
+}
+
+// Save writes the log as JSON.
+func (l *Log) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(l)
+}
+
+// Load parses a log written by Save.
+func Load(r io.Reader) (*Log, error) {
+	var l Log
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("measure: load log: %w", err)
+	}
+	return &l, nil
+}
+
+// Replay rebuilds the record's program on the given DAG.
+func (rec Record) Replay(dag *te.DAG) (*ir.State, error) {
+	steps, err := ir.DecodeSteps(rec.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return ir.Replay(dag, steps)
+}
+
+// BestFor returns the fastest recorded program for a task, replayed on
+// the DAG.
+func (l *Log) BestFor(task string, dag *te.DAG) (*ir.State, float64, error) {
+	best := math.Inf(1)
+	idx := -1
+	for i, rec := range l.Records {
+		if rec.Task == task && rec.Seconds < best {
+			best = rec.Seconds
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, 0, fmt.Errorf("measure: no records for task %q", task)
+	}
+	s, err := l.Records[idx].Replay(dag)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, best, nil
+}

@@ -1,0 +1,358 @@
+// Package policy implements Ansor's per-task search policy: the loop of
+// Figure 4 that samples an initial population from the sketch space,
+// fine-tunes it with evolutionary search under the learned cost model,
+// measures the most promising candidates on the target, and retrains the
+// cost model from the accumulated measurement data (§3, §5).
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/anno"
+	"repro/internal/evo"
+	"repro/internal/feat"
+	"repro/internal/ir"
+	"repro/internal/measure"
+	"repro/internal/sketch"
+	"repro/internal/te"
+	"repro/internal/xgb"
+)
+
+// Task is one program-generation task: a subgraph to optimize on a target
+// machine (§6: "a task is a process performed to generate high-performance
+// programs for a subgraph").
+type Task struct {
+	// Name identifies the task (dedup across a network uses it).
+	Name string
+	DAG  *te.DAG
+	// Target carries the structural search-space parameters.
+	Target sketch.Target
+	// Weight is the number of appearances of the subgraph in the DNN(s).
+	Weight int
+}
+
+// Options configures the search policy.
+type Options struct {
+	// SampleInitSize random programs are drawn per round (§5: "re-sampled
+	// new programs as well as good programs from previous iterations").
+	SampleInitSize int
+	// KeepBest previously measured programs seed the population.
+	KeepBest int
+	// Evolution parameters.
+	Population  int
+	Generations int
+	// EpsGreedy is the fraction of each measured batch chosen randomly
+	// instead of by predicted score, for exploration.
+	EpsGreedy float64
+	// DisableFineTuning reproduces the "No fine-tuning" ablation: the
+	// batch is picked from random samples only (§7.1).
+	DisableFineTuning bool
+	// Space restrictions, used by the baseline frameworks and the
+	// "Limited space" ablation; all false for Ansor.
+	DisableFusion     bool
+	DisableCacheWrite bool
+	DisableRFactor    bool
+	DisableInline     bool
+	// Structure overrides the target's multi-level tile structure
+	// (e.g. "SSRS" for template-style two-level tiles); empty keeps it.
+	Structure string
+	// FixedAnnotation uses the deterministic annotation policy of the
+	// template baselines.
+	FixedAnnotation bool
+	Seed            int64
+}
+
+// DefaultOptions returns the configuration used in the evaluation.
+func DefaultOptions() Options {
+	return Options{
+		SampleInitSize: 50,
+		KeepBest:       12,
+		Population:     96,
+		Generations:    4,
+		EpsGreedy:      0.15,
+		Seed:           1,
+	}
+}
+
+// Policy runs the search for one task.
+type Policy struct {
+	Task Task
+	Opts Options
+
+	Measurer *measure.Measurer
+
+	sketches []*ir.State
+	sampler  *anno.Sampler
+	model    *xgb.CostModel
+	rng      *rand.Rand
+
+	// Accumulated training data.
+	progFeats [][][]float64
+	progTimes []float64
+
+	measuredSigs map[string]bool
+	bestStates   []*ir.State // sorted by measured time, ascending
+	bestTimes    []float64
+
+	// BestTime is the best measured execution time so far (+Inf before
+	// any measurement); BestState the corresponding program.
+	BestTime  float64
+	BestState *ir.State
+
+	// History records (trial count, best time) after every round, for
+	// tuning curves.
+	History []HistoryPoint
+}
+
+// HistoryPoint is one point of the tuning curve.
+type HistoryPoint struct {
+	Trials   int
+	BestTime float64
+}
+
+// New builds a policy for the task: it generates the task's sketches once
+// (the search space construction of §4.1).
+func New(task Task, opts Options, ms *measure.Measurer, extraRules ...sketch.Rule) (*Policy, error) {
+	target := task.Target
+	if opts.Structure != "" {
+		target.Structure = opts.Structure
+		if n := strings.Count(opts.Structure, "S"); target.FuseOuterLevels >= n {
+			target.FuseOuterLevels = n - 1
+		}
+	}
+	gen := sketch.NewGenerator(target)
+	gen.DisableFusion = opts.DisableFusion
+	gen.DisableCacheWrite = opts.DisableCacheWrite
+	gen.DisableRFactor = opts.DisableRFactor
+	gen.DisableInline = opts.DisableInline
+	for _, r := range extraRules {
+		gen.RegisterRule(r)
+	}
+	sketches, err := gen.Generate(task.DAG)
+	if err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	sampler := anno.NewSampler(target, opts.Seed)
+	sampler.Fixed = opts.FixedAnnotation
+	return &Policy{
+		Task:         task,
+		Opts:         opts,
+		Measurer:     ms,
+		sketches:     sketches,
+		sampler:      sampler,
+		model:        xgb.NewCostModel(xgb.DefaultOpts()),
+		rng:          rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
+		measuredSigs: map[string]bool{},
+		BestTime:     1e30,
+	}, nil
+}
+
+// Sketches exposes the generated sketches (read-only).
+func (p *Policy) Sketches() []*ir.State { return p.sketches }
+
+// SearchRound performs one tuning round: sample, evolve, pick a batch of
+// numMeasure programs, measure them, and retrain the cost model. It
+// returns the measurement results (§5's iterative fine-tuning).
+func (p *Policy) SearchRound(numMeasure int) []measure.Result {
+	init := p.sampler.SamplePopulation(p.sketches, p.Opts.SampleInitSize)
+	for i, s := range p.bestStates {
+		if i >= p.Opts.KeepBest {
+			break
+		}
+		init = append(init, s)
+	}
+	if len(init) == 0 {
+		return nil
+	}
+	var candidates []*ir.State
+	if p.Opts.DisableFineTuning || !p.model.Trained() {
+		candidates = init
+	} else {
+		search := evo.NewSearch(evo.Config{
+			PopulationSize: p.Opts.Population,
+			Generations:    p.Opts.Generations,
+			CrossoverProb:  0.15,
+			EliteCount:     p.Opts.Population / 8,
+			Seed:           p.rng.Int63(),
+		})
+		candidates = search.Run(p.Task.DAG, init, p.scorer(), 4*numMeasure)
+	}
+	batch := p.pickBatch(candidates, numMeasure)
+	results := p.Measurer.Measure(batch)
+	p.update(results)
+	return results
+}
+
+// pickBatch selects the programs to measure: mostly the best-scoring
+// unmeasured candidates, with an ε fraction chosen at random (§6.2's
+// ε-greedy exploration applied at the program level).
+func (p *Policy) pickBatch(candidates []*ir.State, n int) []*ir.State {
+	var fresh []*ir.State
+	for _, c := range candidates {
+		if !p.measuredSigs[c.Signature()] {
+			fresh = append(fresh, c)
+		}
+	}
+	if len(fresh) == 0 {
+		fresh = candidates
+	}
+	if p.model.Trained() && !p.Opts.DisableFineTuning {
+		scores := p.scorer().Score(fresh)
+		idx := make([]int, len(fresh))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+		ordered := make([]*ir.State, len(fresh))
+		for i, j := range idx {
+			ordered[i] = fresh[j]
+		}
+		fresh = ordered
+	}
+	var batch []*ir.State
+	nRandom := int(float64(n)*p.Opts.EpsGreedy + 0.5)
+	for len(batch) < n-nRandom && len(fresh) > 0 {
+		batch = append(batch, fresh[0])
+		fresh = fresh[1:]
+	}
+	// The ε slice measures genuinely random samples so the search never
+	// commits fully to a possibly-wrong cost model.
+	for len(batch) < n {
+		extra := p.sampler.SamplePopulation(p.sketches, 1)
+		if len(extra) == 0 {
+			if len(fresh) == 0 {
+				break
+			}
+			batch = append(batch, fresh[0])
+			fresh = fresh[1:]
+			continue
+		}
+		batch = append(batch, extra[0])
+	}
+	return batch
+}
+
+// update records measurements, maintains the best-k pool, and retrains
+// the cost model on all data with per-DAG throughput normalization.
+func (p *Policy) update(results []measure.Result) {
+	for _, r := range results {
+		if r.Err != nil || r.Seconds <= 0 {
+			continue
+		}
+		sig := r.State.Signature()
+		p.measuredSigs[sig] = true
+		p.progFeats = append(p.progFeats, feat.Extract(r.Lowered))
+		p.progTimes = append(p.progTimes, r.Seconds)
+		if r.Seconds < p.BestTime {
+			p.BestTime = r.Seconds
+			p.BestState = r.State
+		}
+		p.bestStates = append(p.bestStates, r.State)
+		p.bestTimes = append(p.bestTimes, r.Seconds)
+	}
+	// Keep the best pool sorted and bounded.
+	idx := make([]int, len(p.bestStates))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return p.bestTimes[idx[a]] < p.bestTimes[idx[b]] })
+	limit := 4 * p.Opts.KeepBest
+	if len(idx) > limit {
+		idx = idx[:limit]
+	}
+	states := make([]*ir.State, len(idx))
+	times := make([]float64, len(idx))
+	for i, j := range idx {
+		states[i], times[i] = p.bestStates[j], p.bestTimes[j]
+	}
+	p.bestStates, p.bestTimes = states, times
+
+	// Retrain: labels are throughputs normalized to [0,1] per DAG (§5.2).
+	if len(p.progTimes) > 0 && !p.Opts.DisableFineTuning {
+		minT := p.progTimes[0]
+		for _, t := range p.progTimes {
+			if t < minT {
+				minT = t
+			}
+		}
+		y := make([]float64, len(p.progTimes))
+		for i, t := range p.progTimes {
+			y[i] = minT / t
+		}
+		p.model.Fit(p.progFeats, y)
+	}
+	p.History = append(p.History, HistoryPoint{Trials: p.Measurer.Trials, BestTime: p.BestTime})
+}
+
+// scorer adapts the cost model to the evolutionary search.
+func (p *Policy) scorer() evo.Scorer {
+	return &modelScorer{model: p.model, cache: map[*ir.State][][]float64{}}
+}
+
+type modelScorer struct {
+	model *xgb.CostModel
+	cache map[*ir.State][][]float64
+}
+
+func (m *modelScorer) features(s *ir.State) [][]float64 {
+	if f, ok := m.cache[s]; ok {
+		return f
+	}
+	low, err := ir.Lower(s)
+	if err != nil {
+		m.cache[s] = nil
+		return nil
+	}
+	f := feat.Extract(low)
+	m.cache[s] = f
+	return f
+}
+
+func (m *modelScorer) Score(states []*ir.State) []float64 {
+	out := make([]float64, len(states))
+	for i, s := range states {
+		f := m.features(s)
+		if f == nil {
+			out[i] = -1e30
+			continue
+		}
+		out[i] = m.model.Score(f)
+	}
+	return out
+}
+
+func (m *modelScorer) NodeScores(s *ir.State) map[string]float64 {
+	f := m.features(s)
+	if f == nil || !m.model.Trained() {
+		return nil
+	}
+	low, err := ir.Lower(s)
+	if err != nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for i, stmt := range low.Stmts {
+		tag := ir.BaseStage(stmt.Stage.Name)
+		out[tag] += m.model.ScoreStmt(f[i])
+	}
+	return out
+}
+
+// Tune runs rounds until the trial budget is exhausted and returns the
+// best measured time.
+func (p *Policy) Tune(totalTrials, perRound int) float64 {
+	start := p.Measurer.Trials
+	for p.Measurer.Trials-start < totalTrials {
+		n := perRound
+		if rem := totalTrials - (p.Measurer.Trials - start); rem < n {
+			n = rem
+		}
+		if len(p.SearchRound(n)) == 0 {
+			break
+		}
+	}
+	return p.BestTime
+}

@@ -1,0 +1,330 @@
+// Package sched implements Ansor's task scheduler (§6): gradient-descent
+// allocation of tuning time units across the tasks (subgraphs) of one or
+// more DNNs, with the objective functions of Table 2 and the gradient
+// approximation of Appendix A.
+package sched
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Tuner is one tuning task as the scheduler sees it.
+type Tuner interface {
+	// Name identifies the task.
+	Name() string
+	// BestLatency returns g_i(t_i): the best subgraph latency achieved so
+	// far (math.Inf(1) before the first measurement).
+	BestLatency() float64
+	// AllocateUnit spends one unit of time resources: one round of
+	// program generation and measurement (§6: "we define such an
+	// iteration as one unit of time resources").
+	AllocateUnit()
+	// TaskFlops returns C_i, the floating point operations of the task.
+	TaskFlops() float64
+	// SimilarityTag groups structurally similar tasks (N(i) in the
+	// gradient formula); tasks with equal tags are considered similar.
+	SimilarityTag() string
+}
+
+// DNN describes one network: which tasks it contains and with what
+// weights (the number of appearances of each subgraph).
+type DNN struct {
+	Name string
+	// Tasks are indices into the scheduler's task list.
+	Tasks []int
+	// Weights[i] is w of Tasks[i] within this DNN.
+	Weights []float64
+	// LatencyReq is L_j for objective f2 (0 = none).
+	LatencyReq float64
+	// RefLatency is B_j for objective f3.
+	RefLatency float64
+}
+
+// Latency returns Σ w_i g_i for this DNN given per-task latencies.
+func (d *DNN) Latency(g []float64) float64 {
+	var l float64
+	for k, ti := range d.Tasks {
+		l += d.Weights[k] * g[ti]
+	}
+	return l
+}
+
+// Objective is f(g_1, ..., g_n) over per-task best latencies.
+type Objective interface {
+	Cost(g []float64) float64
+	// PartialG returns ∂f/∂g_i for all i.
+	PartialG(g []float64) []float64
+}
+
+// ---- Table 2 objectives ----
+
+// F1 minimizes the sum of DNN latencies (a pipeline running every DNN
+// once): f1 = Σ_j Σ_{i∈S(j)} w_i g_i.
+type F1 struct{ DNNs []DNN }
+
+func (f F1) Cost(g []float64) float64 {
+	var c float64
+	for _, d := range f.DNNs {
+		c += d.Latency(g)
+	}
+	return c
+}
+
+func (f F1) PartialG(g []float64) []float64 {
+	out := make([]float64, len(g))
+	for _, d := range f.DNNs {
+		for k, ti := range d.Tasks {
+			out[ti] += d.Weights[k]
+		}
+	}
+	return out
+}
+
+// F2 stops caring about DNNs that already meet their latency requirement:
+// f2 = Σ_j max(Σ w_i g_i, L_j).
+type F2 struct{ DNNs []DNN }
+
+func (f F2) Cost(g []float64) float64 {
+	var c float64
+	for _, d := range f.DNNs {
+		c += math.Max(d.Latency(g), d.LatencyReq)
+	}
+	return c
+}
+
+func (f F2) PartialG(g []float64) []float64 {
+	out := make([]float64, len(g))
+	for _, d := range f.DNNs {
+		if d.Latency(g) <= d.LatencyReq {
+			continue
+		}
+		for k, ti := range d.Tasks {
+			out[ti] += d.Weights[k]
+		}
+	}
+	return out
+}
+
+// F3 maximizes the geometric mean of speedups against reference
+// latencies: f3 = −(Π_j B_j / lat_j)^(1/m).
+type F3 struct{ DNNs []DNN }
+
+func (f F3) Cost(g []float64) float64 {
+	prod := 1.0
+	for _, d := range f.DNNs {
+		lat := d.Latency(g)
+		if lat <= 0 {
+			return 0
+		}
+		prod *= d.RefLatency / lat
+	}
+	return -math.Pow(prod, 1/float64(len(f.DNNs)))
+}
+
+func (f F3) PartialG(g []float64) []float64 {
+	out := make([]float64, len(g))
+	base := -f.Cost(g) // (Π r)^(1/m) ≥ 0
+	m := float64(len(f.DNNs))
+	for _, d := range f.DNNs {
+		lat := d.Latency(g)
+		if lat <= 0 {
+			continue
+		}
+		for k, ti := range d.Tasks {
+			out[ti] += base / m * d.Weights[k] / lat
+		}
+	}
+	return out
+}
+
+// F4 adds per-task early stopping: f4 = Σ_j Σ_i w_i max(g_i, ES(g_i, t)).
+// Converged returns whether task i's gradient should be zeroed.
+type F4 struct {
+	DNNs      []DNN
+	Converged func(task int) bool
+}
+
+func (f F4) Cost(g []float64) float64 { return F1{f.DNNs}.Cost(g) }
+
+func (f F4) PartialG(g []float64) []float64 {
+	out := F1{f.DNNs}.PartialG(g)
+	for i := range out {
+		if f.Converged != nil && f.Converged(i) {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// ---- Scheduler ----
+
+// Options configures the gradient-descent scheduler (Appendix A).
+type Options struct {
+	// Alpha weighs the backward-difference estimate against the
+	// optimistic forward prediction.
+	Alpha float64
+	// Beta weighs the similarity-based prediction.
+	Beta float64
+	// BackwardWindow is Δt.
+	BackwardWindow int
+	// EpsGreedy is the probability of picking a random task (§6.2).
+	EpsGreedy float64
+	// ESWindow: a task is "converged" when its best latency has not
+	// improved in this many consecutive allocations (used by F4 and for
+	// the RoundRobin comparison it is ignored).
+	ESWindow int
+	Seed     int64
+	// RoundRobin disables the gradient scheduling ("No task scheduler"
+	// ablation, Fig. 10): equal time to all tasks.
+	RoundRobin bool
+}
+
+// DefaultOptions matches the paper's setup.
+func DefaultOptions() Options {
+	return Options{Alpha: 0.2, Beta: 2, BackwardWindow: 3, EpsGreedy: 0.05, ESWindow: 8, Seed: 1}
+}
+
+// Scheduler allocates tuning units to tasks.
+type Scheduler struct {
+	Tasks     []Tuner
+	Objective Objective
+	Opts      Options
+
+	rng *rand.Rand
+	// history[i] is g_i after each unit allocated to task i.
+	history [][]float64
+	// sinceImprove[i] counts allocations without improvement.
+	sinceImprove []int
+	// Units counts total allocated units.
+	Units int
+	// warmed tracks round-robin warm-up progress across Run calls.
+	warmed int
+	// CostCurve records the objective after every allocation.
+	CostCurve []float64
+}
+
+// New returns a scheduler over the tasks.
+func New(tasks []Tuner, obj Objective, opts Options) *Scheduler {
+	return &Scheduler{
+		Tasks:        tasks,
+		Objective:    obj,
+		Opts:         opts,
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		history:      make([][]float64, len(tasks)),
+		sinceImprove: make([]int, len(tasks)),
+	}
+}
+
+// Converged reports whether task i has stopped improving (for F4).
+func (s *Scheduler) Converged(i int) bool {
+	return s.Opts.ESWindow > 0 && s.sinceImprove[i] >= s.Opts.ESWindow
+}
+
+// latencies returns the g vector, treating unmeasured tasks as very slow.
+func (s *Scheduler) latencies() []float64 {
+	g := make([]float64, len(s.Tasks))
+	for i, t := range s.Tasks {
+		g[i] = t.BestLatency() // +Inf before warm-up
+	}
+	return g
+}
+
+// allocate spends one unit on task i and updates history.
+func (s *Scheduler) allocate(i int) {
+	prev := s.Tasks[i].BestLatency()
+	s.Tasks[i].AllocateUnit()
+	now := s.Tasks[i].BestLatency()
+	s.history[i] = append(s.history[i], now)
+	if now < prev {
+		s.sinceImprove[i] = 0
+	} else {
+		s.sinceImprove[i]++
+	}
+	s.Units++
+	s.CostCurve = append(s.CostCurve, s.Objective.Cost(s.latencies()))
+}
+
+// Run performs the warm-up round-robin then gradient-descent allocation
+// until totalUnits have been spent (§6.2).
+func (s *Scheduler) Run(totalUnits int) {
+	for ; s.warmed < len(s.Tasks) && s.Units < totalUnits; s.warmed++ {
+		s.allocate(s.warmed)
+	}
+	for s.Units < totalUnits {
+		s.allocate(s.pick())
+	}
+}
+
+// pick chooses the next task: argmax |∂f/∂t_i|, with ε-greedy random
+// exploration; round-robin if configured.
+func (s *Scheduler) pick() int {
+	n := len(s.Tasks)
+	if s.Opts.RoundRobin {
+		return s.Units % n
+	}
+	if s.rng.Float64() < s.Opts.EpsGreedy {
+		return s.rng.Intn(n)
+	}
+	g := s.latencies()
+	df := s.Objective.PartialG(g)
+	best, bestScore := 0, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		grad := df[i] * s.gradientT(i, g)
+		if v := math.Abs(grad); v > bestScore {
+			best, bestScore = i, v
+		}
+	}
+	return best
+}
+
+// gradientT approximates ∂g_i/∂t_i per Appendix A.
+func (s *Scheduler) gradientT(i int, g []float64) float64 {
+	hist := s.history[i]
+	ti := float64(len(hist))
+	if ti == 0 {
+		return -g[i] // never allocated: optimistic large gradient
+	}
+	gi := hist[len(hist)-1]
+	// Backward difference over window Δt.
+	dt := s.Opts.BackwardWindow
+	if dt > len(hist) {
+		dt = len(hist)
+	}
+	backward := 0.0
+	if dt > 0 {
+		prevIdx := len(hist) - dt
+		var prev float64
+		if prevIdx == 0 {
+			prev = hist[0]
+		} else {
+			prev = hist[prevIdx-1]
+		}
+		backward = (gi - prev) / float64(dt)
+	}
+	// Optimistic guess: spending t_i more units drives latency to 0.
+	optimistic := -gi / ti
+	// Similarity-based guess: approach the best achieved FLOPS among
+	// similar tasks.
+	similar := math.Inf(1)
+	for k, t := range s.Tasks {
+		if k == i || t.SimilarityTag() != s.Tasks[i].SimilarityTag() {
+			continue
+		}
+		gk := t.BestLatency()
+		if math.IsInf(gk, 1) || gk <= 0 {
+			continue
+		}
+		if v := t.TaskFlops() / gk; v > 0 {
+			pred := s.Opts.Beta*s.Tasks[i].TaskFlops()/v - gi
+			if pred < similar {
+				similar = pred
+			}
+		}
+	}
+	forward := optimistic
+	if !math.IsInf(similar, 1) && similar < forward {
+		forward = similar
+	}
+	return s.Opts.Alpha*backward + (1-s.Opts.Alpha)*forward
+}

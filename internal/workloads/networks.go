@@ -1,0 +1,271 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/te"
+)
+
+// NetTask is one task of a network: a unique subgraph with the number of
+// times it appears (the weight w_i of §6.1).
+type NetTask struct {
+	Name   string
+	Weight int
+	// Tag groups structurally similar tasks for the scheduler's N(i).
+	Tag   string
+	Build func() *te.DAG
+}
+
+// Network is a DNN as the task scheduler sees it.
+type Network struct {
+	Name  string
+	Tasks []NetTask
+}
+
+// netBuilder deduplicates tasks by name, accumulating weights.
+type netBuilder struct {
+	name  string
+	tasks []NetTask
+	index map[string]int
+}
+
+func newNet(name string) *netBuilder {
+	return &netBuilder{name: name, index: map[string]int{}}
+}
+
+func (nb *netBuilder) add(name, tag string, weight int, build func() *te.DAG) {
+	if i, ok := nb.index[name]; ok {
+		nb.tasks[i].Weight += weight
+		return
+	}
+	nb.index[name] = len(nb.tasks)
+	nb.tasks = append(nb.tasks, NetTask{Name: name, Weight: weight, Tag: tag, Build: build})
+}
+
+func (nb *netBuilder) convLayer(batch int, sh conv2dShape, weight int) {
+	name := fmt.Sprintf("conv%dx%d.h%d.c%d-%d.s%d", sh.k, sh.k, sh.h, sh.ci, sh.co, sh.s)
+	tag := fmt.Sprintf("conv%dx%d.s%d", sh.k, sh.k, sh.s)
+	nb.add(name, tag, weight, func() *te.DAG { return ConvLayer(batch, sh) })
+}
+
+func (nb *netBuilder) net() Network { return Network{Name: nb.name, Tasks: nb.tasks} }
+
+// ResNet50 returns ResNet-50's unique conv/dense subgraphs with weights
+// (§6: "29 unique subgraphs among all 50 convolution layers").
+func ResNet50(batch int) Network {
+	nb := newNet("ResNet-50")
+	// Stem.
+	nb.convLayer(batch, conv2dShape{224, 4, 64, 7, 2, 3}, 1) // 3->4 channels padded for tiling
+	type stage struct {
+		h, planes, in, blocks, stride int
+	}
+	stages := []stage{
+		{56, 64, 64, 3, 1},
+		{28, 128, 256, 4, 2},
+		{14, 256, 512, 6, 2},
+		{7, 512, 1024, 3, 2},
+	}
+	for _, st := range stages {
+		out := st.planes * 4
+		hIn := st.h * st.stride // input resolution of the stage
+		// First block: reduce from st.in at the input resolution.
+		nb.convLayer(batch, conv2dShape{hIn, st.in, st.planes, 1, 1, 0}, 1)
+		nb.convLayer(batch, conv2dShape{hIn, st.planes, st.planes, 3, st.stride, 1}, 1)
+		// Downsample shortcut.
+		nb.convLayer(batch, conv2dShape{hIn, st.in, out, 1, st.stride, 0}, 1)
+		// Remaining blocks at the stage resolution.
+		if st.blocks > 1 {
+			nb.convLayer(batch, conv2dShape{st.h, out, st.planes, 1, 1, 0}, st.blocks-1)
+			nb.convLayer(batch, conv2dShape{st.h, st.planes, st.planes, 3, 1, 1}, st.blocks-1)
+		}
+		nb.convLayer(batch, conv2dShape{st.h, st.planes, out, 1, 1, 0}, st.blocks)
+	}
+	// Classifier.
+	nb.add("fc2048-1000", "dense", 1, func() *te.DAG {
+		b := te.NewBuilder("fc")
+		x := b.Input("X", batch, 2048)
+		b.Dense(x, 1000)
+		return b.MustFinish()
+	})
+	return nb.net()
+}
+
+// MobileNetV2 returns MobileNet-V2's tasks (expand / depthwise / project
+// triplets per inverted-residual block).
+func MobileNetV2(batch int) Network {
+	nb := newNet("MobileNet-V2")
+	nb.convLayer(batch, conv2dShape{224, 4, 32, 3, 2, 1}, 1)
+	type block struct{ expand, out, repeat, stride, h, in int }
+	blocks := []block{
+		{1, 16, 1, 1, 112, 32},
+		{6, 24, 2, 2, 112, 16},
+		{6, 32, 3, 2, 56, 24},
+		{6, 64, 4, 2, 28, 32},
+		{6, 96, 3, 1, 14, 64},
+		{6, 160, 3, 2, 14, 96},
+		{6, 320, 1, 1, 7, 160},
+	}
+	dw := func(h, c, s, weight int) {
+		name := fmt.Sprintf("dw3x3.h%d.c%d.s%d", h, c, s)
+		nb.add(name, fmt.Sprintf("dw3x3.s%d", s), weight, func() *te.DAG {
+			b := te.NewBuilder("dw")
+			x := b.Input("X", batch, c, h, h)
+			y := b.DepthwiseConv2D(x, te.ConvOpts{Kernel: 3, Stride: s, Pad: 1})
+			y = b.BatchNorm(y, 1)
+			b.ReLU6(y)
+			return b.MustFinish()
+		})
+	}
+	for _, bl := range blocks {
+		hidden := bl.in * bl.expand
+		if bl.expand > 1 {
+			nb.convLayer(batch, conv2dShape{bl.h, bl.in, hidden, 1, 1, 0}, 1)
+		}
+		dw(bl.h, hidden, bl.stride, 1)
+		hOut := bl.h / bl.stride
+		nb.convLayer(batch, conv2dShape{hOut, hidden, bl.out, 1, 1, 0}, 1)
+		if bl.repeat > 1 {
+			// Repeated blocks operate at the output resolution, stride 1.
+			nb.convLayer(batch, conv2dShape{hOut, bl.out, bl.out * bl.expand, 1, 1, 0}, bl.repeat-1)
+			dw(hOut, bl.out*bl.expand, 1, bl.repeat-1)
+			nb.convLayer(batch, conv2dShape{hOut, bl.out * bl.expand, bl.out, 1, 1, 0}, bl.repeat-1)
+		}
+	}
+	nb.convLayer(batch, conv2dShape{7, 320, 1280, 1, 1, 0}, 1)
+	nb.add("fc1280-1000", "dense", 1, func() *te.DAG {
+		b := te.NewBuilder("fc")
+		x := b.Input("X", batch, 1280)
+		b.Dense(x, 1000)
+		return b.MustFinish()
+	})
+	return nb.net()
+}
+
+// Res3D18 returns 3D-ResNet-18 (action recognition) tasks.
+func Res3D18(batch int) Network {
+	nb := newNet("3D-ResNet-18")
+	conv3d := func(d, h, ci, co, k, s, weight int) {
+		name := fmt.Sprintf("c3d%d.d%d.h%d.c%d-%d.s%d", k, d, h, ci, co, s)
+		nb.add(name, fmt.Sprintf("conv3d%d.s%d", k, s), weight, func() *te.DAG {
+			b := te.NewBuilder("c3d")
+			x := b.Input("X", batch, ci, d, h, h)
+			y := b.Conv3D(x, te.ConvOpts{OutChannels: co, Kernel: k, Stride: s, Pad: k / 2})
+			y = b.BatchNorm(y, 1)
+			b.ReLU(y)
+			return b.MustFinish()
+		})
+	}
+	// Stem on 16-frame 112x112 clips.
+	conv3d(16, 56, 4, 64, 3, 1, 1)
+	type stage struct{ d, h, ci, co, blocks, stride int }
+	stages := []stage{
+		{16, 56, 64, 64, 2, 1},
+		{16, 56, 64, 128, 2, 2},
+		{8, 28, 128, 256, 2, 2},
+		{4, 14, 256, 512, 2, 2},
+	}
+	for _, st := range stages {
+		conv3d(st.d, st.h, st.ci, st.co, 3, st.stride, 1)
+		dOut, hOut := st.d/st.stride, st.h/st.stride
+		conv3d(dOut, hOut, st.co, st.co, 3, 1, 2*st.blocks-1)
+	}
+	nb.add("fc512-400", "dense", 1, func() *te.DAG {
+		b := te.NewBuilder("fc")
+		x := b.Input("X", batch, 512)
+		b.Dense(x, 400)
+		return b.MustFinish()
+	})
+	return nb.net()
+}
+
+// DCGAN returns the DCGAN generator's tasks (§7.1's T2D source).
+func DCGAN(batch int) Network {
+	nb := newNet("DCGAN")
+	nb.add("fc100-16384", "dense", 1, func() *te.DAG {
+		b := te.NewBuilder("fc")
+		x := b.Input("Z", batch, 100)
+		b.Dense(x, 16384) // 4*4*1024
+		return b.MustFinish()
+	})
+	t2d := func(h, ci, co, weight int) {
+		name := fmt.Sprintf("t2d.h%d.c%d-%d", h, ci, co)
+		nb.add(name, "t2d4x4.s2", weight, func() *te.DAG {
+			b := te.NewBuilder("t2d")
+			x := b.Input("X", batch, ci, h, h)
+			y := b.TransposedConv2D(x, te.ConvOpts{OutChannels: co, Kernel: 4, Stride: 2, Pad: 1})
+			b.ReLU(y)
+			return b.MustFinish()
+		})
+	}
+	t2d(4, 1024, 512, 1)
+	t2d(8, 512, 256, 1)
+	t2d(16, 256, 128, 1)
+	t2d(32, 128, 64, 1)
+	nb.add("t2d.out", "t2d4x4.s2", 1, func() *te.DAG {
+		b := te.NewBuilder("t2d")
+		x := b.Input("X", batch, 64, 64, 64)
+		y := b.TransposedConv2D(x, te.ConvOpts{OutChannels: 4, Kernel: 4, Stride: 2, Pad: 1})
+		b.Tanh(y)
+		return b.MustFinish()
+	})
+	return nb.net()
+}
+
+// BERT returns BERT-base's tasks (12 layers, hidden 768, 12 heads,
+// sequence length 128).
+func BERT(batch int) Network {
+	const (
+		layers = 12
+		hidden = 768
+		heads  = 12
+		seq    = 128
+		ffn    = 3072
+	)
+	nb := newNet("BERT")
+	tokens := batch * seq
+	dense := func(name string, in, out, weight int) {
+		nb.add(name, "dense", weight, func() *te.DAG {
+			b := te.NewBuilder("dense")
+			x := b.Input("X", tokens, in)
+			y := b.Dense(x, out)
+			b.GELU(y)
+			return b.MustFinish()
+		})
+	}
+	// QKV projections + attention output: 4 dense 768x768 per layer.
+	dense(fmt.Sprintf("dense%d-%d", hidden, hidden), hidden, hidden, 4*layers)
+	// Attention scores: TBG pattern.
+	nb.add("attn.qk", "batch_matmul", layers, func() *te.DAG {
+		return TBG(batch, heads, seq, hidden/heads)
+	})
+	// Softmax over scores.
+	nb.add("attn.softmax", "softmax", layers, func() *te.DAG {
+		b := te.NewBuilder("softmax")
+		x := b.Input("S", batch*heads, seq, seq)
+		b.Softmax(x)
+		return b.MustFinish()
+	})
+	// Attention-weighted values.
+	nb.add("attn.av", "batch_matmul", layers, func() *te.DAG {
+		b := te.NewBuilder("av")
+		s := b.Input("S", batch*heads, seq, seq)
+		v := b.Input("V", batch*heads, seq, hidden/heads)
+		b.BatchMatmul(s, v, te.MatmulOpts{})
+		return b.MustFinish()
+	})
+	// Feed-forward.
+	dense(fmt.Sprintf("dense%d-%d", hidden, ffn), hidden, ffn, layers)
+	dense(fmt.Sprintf("dense%d-%d", ffn, hidden), ffn, hidden, layers)
+	return nb.net()
+}
+
+// AllNetworks returns the five §7.3 networks.
+func AllNetworks(batch int) []Network {
+	return []Network{
+		ResNet50(batch),
+		MobileNetV2(batch),
+		Res3D18(batch),
+		DCGAN(batch),
+		BERT(batch),
+	}
+}

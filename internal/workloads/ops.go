@@ -1,0 +1,242 @@
+// Package workloads defines the evaluation workloads of §7: the ten
+// single operators with four shape configurations each (§7.1), the
+// ConvLayer and TBG subgraphs (§7.2), and the five end-to-end networks
+// (§7.3) as weighted task lists for the task scheduler.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/te"
+)
+
+// Workload is one benchmark case: a named DAG factory.
+type Workload struct {
+	// Key identifies the case, e.g. "C2D.s1" (op and shape index).
+	Key string
+	// Op is the operator family ("C2D", "GMM", ...).
+	Op string
+	// Build constructs a fresh DAG.
+	Build func() *te.DAG
+}
+
+// conv2dShape is (H=W spatial, CI, CO, kernel, stride, pad).
+type conv2dShape struct{ h, ci, co, k, s, p int }
+
+// The four shape configurations per operator are drawn from common DNNs
+// (ResNet for 2-D convs, MobileNet for depthwise, DCGAN for transposed,
+// WaveNet-style for 1-D, 3D-ResNet for 3-D, BERT for matmul).
+var (
+	c2dShapes = []conv2dShape{
+		{56, 64, 64, 3, 1, 1},
+		{28, 128, 128, 3, 1, 1},
+		{14, 256, 256, 3, 1, 1},
+		{7, 512, 512, 3, 1, 1},
+	}
+	grpShapes = c2dShapes // groups = 4 applied on top
+	dilShapes = []conv2dShape{
+		{56, 64, 64, 3, 1, 2},
+		{28, 128, 128, 3, 1, 2},
+		{14, 256, 256, 3, 1, 2},
+		{7, 512, 512, 3, 1, 2},
+	}
+	depShapes = []conv2dShape{
+		{112, 32, 32, 3, 1, 1},
+		{56, 128, 128, 3, 1, 1},
+		{28, 256, 256, 3, 1, 1},
+		{14, 512, 512, 3, 1, 1},
+	}
+	t2dShapes = []conv2dShape{
+		{4, 512, 256, 4, 2, 1},
+		{8, 256, 128, 4, 2, 1},
+		{16, 128, 64, 4, 2, 1},
+		{32, 64, 32, 4, 2, 1},
+	}
+	capShapes = []conv2dShape{
+		{16, 32, 32, 3, 1, 1},
+		{8, 64, 64, 3, 1, 1},
+		{16, 64, 64, 3, 2, 1},
+		{8, 128, 128, 3, 1, 1},
+	}
+	c1dShapes = []struct{ l, ci, co, k, s int }{
+		{256, 64, 128, 3, 1},
+		{128, 128, 256, 3, 2},
+		{1024, 32, 64, 5, 1},
+		{512, 64, 64, 3, 1},
+	}
+	c3dShapes = []struct{ d, ci, co, k, s int }{
+		{16, 16, 32, 3, 1},
+		{8, 32, 64, 3, 1},
+		{8, 64, 64, 3, 2},
+		{4, 128, 128, 3, 1},
+	}
+	gmmShapes = []struct{ n, m, k int }{
+		{128, 128, 128},
+		{512, 512, 512},
+		{1024, 1024, 1024},
+		{512, 64, 2048},
+	}
+	nrmShapes = []struct{ n, m int }{
+		{256, 256},
+		{512, 512},
+		{1024, 1024},
+		{2048, 512},
+	}
+)
+
+// SingleOps returns the 10 operators x 4 shapes of §7.1 for a batch size.
+func SingleOps(batch int) []Workload {
+	var out []Workload
+	add := func(op string, i int, build func() *te.DAG) {
+		out = append(out, Workload{Key: fmt.Sprintf("%s.s%d", op, i), Op: op, Build: build})
+	}
+	for i, sh := range c1dShapes {
+		sh := sh
+		add("C1D", i, func() *te.DAG {
+			b := te.NewBuilder("c1d")
+			x := b.Input("X", batch, sh.ci, sh.l)
+			b.ReLU(b.Conv1D(x, te.ConvOpts{OutChannels: sh.co, Kernel: sh.k, Stride: sh.s, Pad: sh.k / 2}))
+			return b.MustFinish()
+		})
+	}
+	for i, sh := range c2dShapes {
+		sh := sh
+		add("C2D", i, func() *te.DAG {
+			b := te.NewBuilder("c2d")
+			x := b.Input("X", batch, sh.ci, sh.h, sh.h)
+			b.ReLU(b.Conv2D(x, te.ConvOpts{OutChannels: sh.co, Kernel: sh.k, Stride: sh.s, Pad: sh.p}))
+			return b.MustFinish()
+		})
+	}
+	for i, sh := range c3dShapes {
+		sh := sh
+		add("C3D", i, func() *te.DAG {
+			b := te.NewBuilder("c3d")
+			x := b.Input("X", batch, sh.ci, sh.d, 28, 28)
+			b.ReLU(b.Conv3D(x, te.ConvOpts{OutChannels: sh.co, Kernel: sh.k, Stride: sh.s, Pad: sh.k / 2}))
+			return b.MustFinish()
+		})
+	}
+	for i, sh := range gmmShapes {
+		sh := sh
+		add("GMM", i, func() *te.DAG {
+			b := te.NewBuilder("gmm")
+			x := b.Input("A", batch, sh.n, sh.k)
+			w := b.Input("B", batch, sh.k, sh.m)
+			b.BatchMatmul(x, w, te.MatmulOpts{})
+			return b.MustFinish()
+		})
+	}
+	for i, sh := range grpShapes {
+		sh := sh
+		add("GRP", i, func() *te.DAG {
+			b := te.NewBuilder("grp")
+			x := b.Input("X", batch, sh.ci, sh.h, sh.h)
+			b.ReLU(b.Conv2D(x, te.ConvOpts{OutChannels: sh.co, Kernel: sh.k, Stride: sh.s, Pad: sh.p, Groups: 4}))
+			return b.MustFinish()
+		})
+	}
+	for i, sh := range dilShapes {
+		sh := sh
+		add("DIL", i, func() *te.DAG {
+			b := te.NewBuilder("dil")
+			x := b.Input("X", batch, sh.ci, sh.h, sh.h)
+			b.ReLU(b.Conv2D(x, te.ConvOpts{OutChannels: sh.co, Kernel: sh.k, Stride: sh.s, Pad: 2, Dilation: 2}))
+			return b.MustFinish()
+		})
+	}
+	for i, sh := range depShapes {
+		sh := sh
+		add("DEP", i, func() *te.DAG {
+			b := te.NewBuilder("dep")
+			x := b.Input("X", batch, sh.ci, sh.h, sh.h)
+			b.ReLU(b.DepthwiseConv2D(x, te.ConvOpts{Kernel: sh.k, Stride: sh.s, Pad: sh.p}))
+			return b.MustFinish()
+		})
+	}
+	for i, sh := range t2dShapes {
+		sh := sh
+		add("T2D", i, func() *te.DAG {
+			b := te.NewBuilder("t2d")
+			x := b.Input("X", batch, sh.ci, sh.h, sh.h)
+			b.ReLU(b.TransposedConv2D(x, te.ConvOpts{OutChannels: sh.co, Kernel: sh.k, Stride: sh.s, Pad: sh.p}))
+			return b.MustFinish()
+		})
+	}
+	for i, sh := range capShapes {
+		sh := sh
+		add("CAP", i, func() *te.DAG {
+			b := te.NewBuilder("cap")
+			x := b.Input("X", batch, sh.ci, sh.h, sh.h)
+			b.CapsuleConv2D(x, te.ConvOpts{OutChannels: sh.co, Kernel: sh.k, Stride: sh.s, Pad: sh.p})
+			return b.MustFinish()
+		})
+	}
+	for i, sh := range nrmShapes {
+		sh := sh
+		add("NRM", i, func() *te.DAG {
+			b := te.NewBuilder("nrm")
+			x := b.Input("X", batch, sh.n, sh.m)
+			b.Norm(x)
+			return b.MustFinish()
+		})
+	}
+	return out
+}
+
+// OpNames lists the operator families in Figure 6's order.
+func OpNames() []string {
+	return []string{"C1D", "C2D", "C3D", "GMM", "GRP", "DIL", "DEP", "T2D", "CAP", "NRM"}
+}
+
+// ConvLayer builds the §7.2 "ConvLayer" subgraph: conv2d + batch norm +
+// ReLU.
+func ConvLayer(batch int, sh conv2dShape) *te.DAG {
+	b := te.NewBuilder("convlayer")
+	x := b.Input("X", batch, sh.ci, sh.h, sh.h)
+	y := b.Conv2D(x, te.ConvOpts{OutChannels: sh.co, Kernel: sh.k, Stride: sh.s, Pad: sh.p})
+	y = b.BatchNorm(y, 1)
+	b.ReLU(y)
+	return b.MustFinish()
+}
+
+// TBG builds the §7.2 "TBG" subgraph: two matrix transposes plus a batch
+// matrix multiplication, the multi-head-attention pattern.
+func TBG(batch, heads, seq, dim int) *te.DAG {
+	b := te.NewBuilder("tbg")
+	// Inputs arrive as (batch, seq, heads, dim); transpose to
+	// (batch*heads, seq, dim) and (batch*heads, dim, seq), then batch
+	// matmul -> (batch*heads, seq, seq).
+	q := b.Input("Q", batch*heads, seq, dim)
+	k := b.Input("K", batch*heads, seq, dim)
+	qt := b.Transpose(q, 0, 1, 2) // identity-like transpose node (layout view)
+	kt := b.Transpose(k, 0, 2, 1)
+	b.BatchMatmul(qt, kt, te.MatmulOpts{TransposeB: false})
+	return b.MustFinish()
+}
+
+// Subgraphs returns the eight §7.2 cases (4 ConvLayer + 4 TBG shapes).
+func Subgraphs(batch int) []Workload {
+	var out []Workload
+	for i, sh := range c2dShapes {
+		sh := sh
+		out = append(out, Workload{
+			Key: fmt.Sprintf("ConvLayer.s%d", i), Op: "ConvLayer",
+			Build: func() *te.DAG { return ConvLayer(batch, sh) },
+		})
+	}
+	tbgShapes := []struct{ heads, seq, dim int }{
+		{12, 128, 64},
+		{12, 256, 64},
+		{16, 128, 64},
+		{12, 512, 64},
+	}
+	for i, sh := range tbgShapes {
+		sh := sh
+		out = append(out, Workload{
+			Key: fmt.Sprintf("TBG.s%d", i), Op: "TBG",
+			Build: func() *te.DAG { return TBG(batch, sh.heads, sh.seq, sh.dim) },
+		})
+	}
+	return out
+}

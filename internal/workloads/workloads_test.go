@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+)
+
+func TestSingleOpsBuildAndValidate(t *testing.T) {
+	for _, batch := range []int{1, 16} {
+		ops := SingleOps(batch)
+		if len(ops) != 40 {
+			t.Fatalf("batch %d: %d cases, want 40 (10 ops x 4 shapes)", batch, len(ops))
+		}
+		for _, w := range ops {
+			d := w.Build()
+			if err := d.Validate(); err != nil {
+				t.Errorf("%s (batch %d): %v", w.Key, batch, err)
+			}
+		}
+	}
+}
+
+func TestSingleOpsSketchAndLower(t *testing.T) {
+	// Every workload must produce at least one sketch and lower in its
+	// naive form; this is the end-to-end structural health check.
+	m := sim.IntelXeon()
+	for _, w := range SingleOps(1) {
+		d := w.Build()
+		sk, err := sketch.NewGenerator(sketch.CPUTarget()).Generate(d)
+		if err != nil {
+			t.Errorf("%s: sketch generation failed: %v", w.Key, err)
+			continue
+		}
+		if len(sk) == 0 {
+			t.Errorf("%s: no sketches", w.Key)
+		}
+		low, err := ir.Lower(ir.NewState(d))
+		if err != nil {
+			t.Errorf("%s: naive lowering failed: %v", w.Key, err)
+			continue
+		}
+		if tm := m.Time(low); tm <= 0 {
+			t.Errorf("%s: non-positive naive time", w.Key)
+		}
+	}
+}
+
+func TestSubgraphsBuild(t *testing.T) {
+	subs := Subgraphs(1)
+	if len(subs) != 8 {
+		t.Fatalf("%d subgraph cases, want 8", len(subs))
+	}
+	for _, w := range subs {
+		if err := w.Build().Validate(); err != nil {
+			t.Errorf("%s: %v", w.Key, err)
+		}
+	}
+}
+
+func TestNetworksBuild(t *testing.T) {
+	for _, net := range AllNetworks(1) {
+		if len(net.Tasks) < 5 {
+			t.Errorf("%s: only %d tasks", net.Name, len(net.Tasks))
+		}
+		totalWeight := 0
+		for _, task := range net.Tasks {
+			totalWeight += task.Weight
+			d := task.Build()
+			if err := d.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", net.Name, task.Name, err)
+			}
+			if task.Tag == "" {
+				t.Errorf("%s/%s: empty similarity tag", net.Name, task.Name)
+			}
+		}
+		// DCGAN's generator has no repeated layers; every other network
+		// must have subgraphs appearing more than once.
+		if totalWeight < len(net.Tasks) ||
+			(net.Name != "DCGAN" && totalWeight == len(net.Tasks)) {
+			t.Errorf("%s: total weight %d vs task count %d (repeated subgraphs expected)",
+				net.Name, totalWeight, len(net.Tasks))
+		}
+	}
+}
+
+func TestResNet50TaskCount(t *testing.T) {
+	net := ResNet50(1)
+	// The paper reports 29 unique subgraphs for ResNet-50; our encoding
+	// merges a few shapes but must be in the same regime.
+	if n := len(net.Tasks); n < 15 || n > 35 {
+		t.Errorf("ResNet-50 has %d unique tasks, want ~29 (15..35)", n)
+	}
+	// Total conv appearances should be in the ~50 range.
+	total := 0
+	for _, task := range net.Tasks {
+		total += task.Weight
+	}
+	if total < 40 || total > 70 {
+		t.Errorf("ResNet-50 total subgraph count = %d, want ~53", total)
+	}
+}
+
+func TestNetworkTasksSketch(t *testing.T) {
+	// Every network task must be schedulable by the sketch generator.
+	for _, net := range AllNetworks(1) {
+		for _, task := range net.Tasks {
+			d := task.Build()
+			if _, err := sketch.NewGenerator(sketch.CPUTarget()).Generate(d); err != nil {
+				t.Errorf("%s/%s: %v", net.Name, task.Name, err)
+			}
+		}
+	}
+}
+
+func TestBatchScalesShapes(t *testing.T) {
+	d1 := SingleOps(1)[4].Build() // a C2D case
+	d16 := SingleOps(16)[4].Build()
+	if d16.TotalFlops() != 16*d1.TotalFlops() {
+		t.Errorf("batch-16 flops = %g, want 16x %g", d16.TotalFlops(), d1.TotalFlops())
+	}
+}

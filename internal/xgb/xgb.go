@@ -1,0 +1,303 @@
+// Package xgb implements the learned cost model of §5.2: gradient boosted
+// regression trees trained with a weighted squared error on the
+// sum-over-statements objective
+//
+//	loss(f, P, y) = y · (Σ_{s∈S(P)} f(s) − y)²
+//
+// where S(P) are the innermost statements of program P and y is the
+// throughput of P normalized to [0,1] within its DAG. The model predicts a
+// score per statement; a program's score is the sum.
+package xgb
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Opts configures training.
+type Opts struct {
+	NumTrees         int
+	MaxDepth         int
+	MinSamples       int
+	LearningRate     float64
+	FeatureSubsample float64
+	Seed             int64
+}
+
+// DefaultOpts returns the options used throughout the evaluation.
+func DefaultOpts() Opts {
+	return Opts{
+		NumTrees:         30,
+		MaxDepth:         6,
+		MinSamples:       4,
+		LearningRate:     0.3,
+		FeatureSubsample: 0.4,
+		Seed:             1,
+	}
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      int
+	right     int
+	value     float64
+	leaf      bool
+}
+
+type tree struct{ nodes []node }
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.leaf {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// fitTree greedily builds one weighted least-squares regression tree over
+// the rows indexed by idx.
+func fitTree(x [][]float64, target, w []float64, idx []int, o Opts, rng *rand.Rand) *tree {
+	t := &tree{}
+	t.build(x, target, w, idx, 0, o, rng)
+	return t
+}
+
+func weightedMean(target, w []float64, idx []int) float64 {
+	var sw, swy float64
+	for _, i := range idx {
+		sw += w[i]
+		swy += w[i] * target[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return swy / sw
+}
+
+func (t *tree) build(x [][]float64, target, w []float64, idx []int, depth int, o Opts, rng *rand.Rand) int {
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node{})
+	if depth >= o.MaxDepth || len(idx) < 2*o.MinSamples {
+		t.nodes[self] = node{leaf: true, value: weightedMean(target, w, idx)}
+		return self
+	}
+	nf := len(x[0])
+	bestGain := 0.0
+	bestF, bestThr := -1, 0.0
+	// Parent weighted SSE baseline terms.
+	var sw, swy, swyy float64
+	for _, i := range idx {
+		sw += w[i]
+		swy += w[i] * target[i]
+		swyy += w[i] * target[i] * target[i]
+	}
+	if sw == 0 {
+		t.nodes[self] = node{leaf: true, value: 0}
+		return self
+	}
+	parentSSE := swyy - swy*swy/sw
+	order := make([]int, len(idx))
+	for f := 0; f < nf; f++ {
+		if o.FeatureSubsample < 1 && rng.Float64() > o.FeatureSubsample {
+			continue
+		}
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		var lw, lwy, lwyy float64
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			lw += w[i]
+			lwy += w[i] * target[i]
+			lwyy += w[i] * target[i] * target[i]
+			if x[order[k]][f] == x[order[k+1]][f] {
+				continue
+			}
+			if k+1 < o.MinSamples || len(order)-k-1 < o.MinSamples {
+				continue
+			}
+			rw := sw - lw
+			if lw <= 0 || rw <= 0 {
+				continue
+			}
+			lsse := lwyy - lwy*lwy/lw
+			rwy := swy - lwy
+			rwyy := swyy - lwyy
+			rsse := rwyy - rwy*rwy/rw
+			gain := parentSSE - lsse - rsse
+			if gain > bestGain {
+				bestGain = gain
+				bestF = f
+				bestThr = (x[order[k]][f] + x[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestF < 0 {
+		t.nodes[self] = node{leaf: true, value: weightedMean(target, w, idx)}
+		return self
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestF] <= bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	l := t.build(x, target, w, li, depth+1, o, rng)
+	r := t.build(x, target, w, ri, depth+1, o, rng)
+	t.nodes[self] = node{feature: bestF, threshold: bestThr, left: l, right: r}
+	return self
+}
+
+// CostModel is the per-statement GBDT ensemble with the sum-over-
+// statements program score.
+type CostModel struct {
+	Opts  Opts
+	trees []*tree
+}
+
+// NewCostModel returns an untrained cost model (scores 0 for everything).
+func NewCostModel(o Opts) *CostModel { return &CostModel{Opts: o} }
+
+// Trained reports whether Fit has been called with data.
+func (c *CostModel) Trained() bool { return len(c.trees) > 0 }
+
+// Fit trains the model from scratch on programs (per-statement feature
+// lists) and their normalized throughputs y ∈ [0, 1]. The loss weight of
+// each program is its throughput, emphasizing fast programs (§5.2).
+func (c *CostModel) Fit(progs [][][]float64, y []float64) {
+	c.trees = nil
+	if len(progs) == 0 {
+		return
+	}
+	var rows [][]float64
+	var rowProg []int
+	nStmts := make([]float64, len(progs))
+	for p, stmts := range progs {
+		nStmts[p] = float64(len(stmts))
+		for _, s := range stmts {
+			rows = append(rows, s)
+			rowProg = append(rowProg, p)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	pred := make([]float64, len(rows))
+	target := make([]float64, len(rows))
+	weight := make([]float64, len(rows))
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(c.Opts.Seed))
+	const minWeight = 0.05
+	for round := 0; round < c.Opts.NumTrees; round++ {
+		progPred := make([]float64, len(progs))
+		for i, p := range rowProg {
+			progPred[p] += pred[i]
+		}
+		for i, p := range rowProg {
+			r := y[p] - progPred[p]
+			target[i] = r / nStmts[p]
+			weight[i] = math.Max(y[p], minWeight)
+		}
+		t := fitTree(rows, target, weight, idx, c.Opts, rng)
+		for i := range rows {
+			pred[i] += c.Opts.LearningRate * t.predict(rows[i])
+		}
+		c.trees = append(c.trees, t)
+	}
+}
+
+// Score returns the model's predicted fitness (higher = faster) for a
+// program given its per-statement features.
+func (c *CostModel) Score(stmts [][]float64) float64 {
+	var s float64
+	for _, st := range stmts {
+		for _, t := range c.trees {
+			s += c.Opts.LearningRate * t.predict(st)
+		}
+	}
+	return s
+}
+
+// ScoreStmt returns the per-statement score (used by node-based crossover
+// to pick the better parent per node, §5.1).
+func (c *CostModel) ScoreStmt(stmt []float64) float64 {
+	var s float64
+	for _, t := range c.trees {
+		s += c.Opts.LearningRate * t.predict(stmt)
+	}
+	return s
+}
+
+// ---- Ranking metrics (Figure 3) ----
+
+// PairwiseAccuracy returns the fraction of program pairs whose predicted
+// order matches the ground-truth order. Random predictions score 0.5.
+func PairwiseAccuracy(pred, truth []float64) float64 {
+	n := len(pred)
+	if n < 2 {
+		return 1
+	}
+	var correct, total float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if truth[i] == truth[j] {
+				continue
+			}
+			total++
+			if pred[i] == pred[j] {
+				correct += 0.5
+			} else if (pred[i] > pred[j]) == (truth[i] > truth[j]) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return correct / total
+}
+
+// RecallAtK returns |G ∩ P| / k where G is the ground-truth top-k set and
+// P the predicted top-k set (the recall@k of top-k from §2).
+func RecallAtK(pred, truth []float64, k int) float64 {
+	n := len(pred)
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return 0
+	}
+	top := func(v []float64) map[int]bool {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+		out := map[int]bool{}
+		for _, i := range idx[:k] {
+			out[i] = true
+		}
+		return out
+	}
+	g, p := top(truth), top(pred)
+	inter := 0
+	for i := range g {
+		if p[i] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(k)
+}

@@ -1,0 +1,141 @@
+package xgb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth builds a synthetic single-statement regression problem where the
+// label is a nonlinear function of a few features.
+func synth(n int, seed int64) (progs [][][]float64, y []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x := make([]float64, 10)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		label := 0.6*x[0] + 0.3*x[3]*x[3] + 0.1*math.Sin(6*x[7])
+		progs = append(progs, [][]float64{x})
+		y = append(y, label)
+	}
+	return
+}
+
+func TestCostModelLearnsRanking(t *testing.T) {
+	progs, y := synth(600, 1)
+	m := NewCostModel(DefaultOpts())
+	m.Fit(progs[:400], y[:400])
+	if !m.Trained() {
+		t.Fatal("model should be trained")
+	}
+	pred := make([]float64, 200)
+	truth := make([]float64, 200)
+	for i := 0; i < 200; i++ {
+		pred[i] = m.Score(progs[400+i])
+		truth[i] = y[400+i]
+	}
+	acc := PairwiseAccuracy(pred, truth)
+	if acc < 0.8 {
+		t.Errorf("pairwise accuracy = %.3f, want >= 0.8", acc)
+	}
+	rec := RecallAtK(pred, truth, 20)
+	if rec < 0.3 {
+		t.Errorf("recall@20 = %.3f, want >= 0.3", rec)
+	}
+}
+
+func TestUntrainedModelScoresZero(t *testing.T) {
+	m := NewCostModel(DefaultOpts())
+	if m.Trained() {
+		t.Error("fresh model should be untrained")
+	}
+	if got := m.Score([][]float64{{1, 2, 3}}); got != 0 {
+		t.Errorf("untrained score = %g, want 0", got)
+	}
+}
+
+func TestSumOverStatements(t *testing.T) {
+	// Two-statement programs: label = x_a[0] + x_b[0]. The model must
+	// learn the additive structure.
+	rng := rand.New(rand.NewSource(2))
+	var progs [][][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a := []float64{rng.Float64(), rng.Float64()}
+		b := []float64{rng.Float64(), rng.Float64()}
+		progs = append(progs, [][]float64{a, b})
+		y = append(y, 0.5*a[0]+0.5*b[0])
+	}
+	m := NewCostModel(DefaultOpts())
+	m.Fit(progs[:400], y[:400])
+	pred := make([]float64, 100)
+	truth := make([]float64, 100)
+	for i := 0; i < 100; i++ {
+		pred[i] = m.Score(progs[400+i])
+		truth[i] = y[400+i]
+	}
+	if acc := PairwiseAccuracy(pred, truth); acc < 0.75 {
+		t.Errorf("additive pairwise accuracy = %.3f, want >= 0.75", acc)
+	}
+}
+
+func TestHighThroughputWeighting(t *testing.T) {
+	// With weight = y, the model should fit fast programs better than
+	// slow ones. Construct labels with label-dependent noise and check
+	// the top decile is ranked well.
+	rng := rand.New(rand.NewSource(3))
+	var progs [][][]float64
+	var y []float64
+	for i := 0; i < 800; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		progs = append(progs, [][]float64{x})
+		y = append(y, x[0])
+	}
+	m := NewCostModel(DefaultOpts())
+	m.Fit(progs, y)
+	// Rank all; recall at 80 (top decile) should be strong.
+	pred := make([]float64, len(progs))
+	for i := range progs {
+		pred[i] = m.Score(progs[i])
+	}
+	if rec := RecallAtK(pred, y, 80); rec < 0.6 {
+		t.Errorf("top-decile recall = %.3f, want >= 0.6", rec)
+	}
+}
+
+func TestPairwiseAccuracyMetric(t *testing.T) {
+	truth := []float64{1, 2, 3, 4}
+	if got := PairwiseAccuracy([]float64{1, 2, 3, 4}, truth); got != 1 {
+		t.Errorf("perfect ranking accuracy = %g, want 1", got)
+	}
+	if got := PairwiseAccuracy([]float64{4, 3, 2, 1}, truth); got != 0 {
+		t.Errorf("reversed ranking accuracy = %g, want 0", got)
+	}
+	if got := PairwiseAccuracy([]float64{0, 0, 0, 0}, truth); got != 0.5 {
+		t.Errorf("constant prediction accuracy = %g, want 0.5", got)
+	}
+}
+
+func TestRecallAtKMetric(t *testing.T) {
+	truth := []float64{10, 9, 8, 1, 2, 3}
+	if got := RecallAtK([]float64{10, 9, 8, 1, 2, 3}, truth, 3); got != 1 {
+		t.Errorf("perfect recall = %g, want 1", got)
+	}
+	if got := RecallAtK([]float64{1, 2, 3, 10, 9, 8}, truth, 3); got != 0 {
+		t.Errorf("inverted recall = %g, want 0", got)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	progs, y := synth(200, 5)
+	a := NewCostModel(DefaultOpts())
+	a.Fit(progs, y)
+	b := NewCostModel(DefaultOpts())
+	b.Fit(progs, y)
+	for i := 0; i < 20; i++ {
+		if a.Score(progs[i]) != b.Score(progs[i]) {
+			t.Fatal("same-seed training should be deterministic")
+		}
+	}
+}
