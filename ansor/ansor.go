@@ -98,6 +98,16 @@ type TuningOptions struct {
 	Seed int64
 	// NoiseStd is the relative measurement jitter (default 0.02).
 	NoiseStd float64
+	// Workers bounds the goroutines used by each parallel stage of the
+	// tuning pipeline — batch measurement, candidate scoring,
+	// evolutionary search, cost-model training, and independent
+	// scheduler rounds. 0 (the default) uses all cores with a shared
+	// process-wide bound, so nested stages never oversubscribe the
+	// machine; an explicit value applies per stage and may multiply
+	// when stages nest (see internal/pool). Tuning output is
+	// bit-identical for any value (see DESIGN.md's determinism
+	// contract); Workers only changes wall-clock time.
+	Workers int
 	// CustomRules are user-defined sketch derivation rules (§4.1).
 	CustomRules []sketch.Rule
 }
@@ -145,8 +155,10 @@ type Tuner struct {
 func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 	opts.defaults()
 	ms := measure.New(task.Target.Machine, opts.NoiseStd, opts.Seed)
+	ms.Workers = opts.Workers
 	popts := policy.DefaultOptions()
 	popts.Seed = opts.Seed
+	popts.Workers = opts.Workers
 	pol, err := policy.New(policy.Task{
 		Name: task.Name, DAG: task.DAG, Target: task.Target.Space, Weight: task.Weight,
 	}, popts, ms, opts.CustomRules...)
@@ -183,7 +195,12 @@ func (t *Tuner) Best() (Program, error) {
 }
 
 // Trials returns the number of measurements spent so far.
-func (t *Tuner) Trials() int { return t.measurer.Trials }
+func (t *Tuner) Trials() int { return t.measurer.Trials() }
+
+// History returns the tuning curve: one (trials, best time) point per
+// search round. Equal seeds give identical histories for any Workers
+// value.
+func (t *Tuner) History() []policy.HistoryPoint { return t.pol.History }
 
 // NetworkTask is one weighted subgraph of a network.
 type NetworkTask struct {
@@ -247,6 +264,7 @@ type NetworkResult struct {
 func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult, error) {
 	opts.defaults()
 	ms := measure.New(target.Machine, opts.NoiseStd, opts.Seed)
+	ms.Workers = opts.Workers
 	var tuners []sched.Tuner
 	var dnn sched.DNN
 	dnn.Name = net.Name
@@ -254,6 +272,7 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 	for i, task := range net.Tasks {
 		popts := policy.DefaultOptions()
 		popts.Seed = opts.Seed + int64(i)*31
+		popts.Workers = opts.Workers
 		dag := task.Build()
 		p, err := policy.New(policy.Task{
 			Name: task.Name, DAG: dag, Target: target.Space, Weight: task.Weight,
@@ -268,13 +287,15 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 		dnn.Tasks = append(dnn.Tasks, i)
 		dnn.Weights = append(dnn.Weights, float64(task.Weight))
 	}
-	s := sched.New(tuners, sched.F1{DNNs: []sched.DNN{dnn}}, sched.DefaultOptions())
+	sopts := sched.DefaultOptions()
+	sopts.Workers = opts.Workers
+	s := sched.New(tuners, sched.F1{DNNs: []sched.DNN{dnn}}, sopts)
 	units := opts.Trials * len(tuners) / opts.MeasuresPerRound
 	if units < len(tuners) {
 		units = len(tuners)
 	}
 	s.Run(units)
-	res := NetworkResult{TaskLatencies: map[string]float64{}, Trials: ms.Trials}
+	res := NetworkResult{TaskLatencies: map[string]float64{}, Trials: ms.Trials()}
 	g := make([]float64, len(tuners))
 	for i, t := range tuners {
 		g[i] = t.BestLatency()

@@ -1,0 +1,116 @@
+package ansor
+
+import (
+	"testing"
+)
+
+// TestTuningDeterministicAcrossWorkers enforces the repository's
+// concurrency contract (DESIGN.md): with one seed, the tuning outcome —
+// best program signature, best time, trial accounting, and the full
+// History curve — is bit-identical for any Workers value. Parallelism may
+// only change wall-clock time, never results.
+func TestTuningDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		name   string
+		target Target
+	}{
+		{"intel-cpu", TargetIntelCPU(true)},
+		{"nvidia-gpu", TargetNVIDIAGPU()},
+	}
+	type outcome struct {
+		sig     string
+		seconds float64
+		trials  int
+		history []struct {
+			trials int
+			best   float64
+		}
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers int) outcome {
+				b := NewComputeBuilder("matmul_relu")
+				a := b.Input("A", 512, 512)
+				c := b.Matmul(a, 512, true)
+				b.ReLU(c)
+				dag, err := b.Finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tuner, err := NewTuner(NewTask("mm", dag, tc.target), TuningOptions{
+					Trials: 48, MeasuresPerRound: 16, Seed: 7, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				best, err := tuner.Tune()
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := outcome{
+					sig:     best.State.Signature(),
+					seconds: best.Seconds,
+					trials:  tuner.Trials(),
+				}
+				for _, h := range tuner.History() {
+					out.history = append(out.history, struct {
+						trials int
+						best   float64
+					}{h.Trials, h.BestTime})
+				}
+				return out
+			}
+			serial := run(1)
+			parallel := run(8)
+			if serial.sig != parallel.sig {
+				t.Errorf("best-program signature diverged:\nworkers=1: %s\nworkers=8: %s", serial.sig, parallel.sig)
+			}
+			if serial.seconds != parallel.seconds {
+				t.Errorf("best time diverged: %g vs %g", serial.seconds, parallel.seconds)
+			}
+			if serial.trials != parallel.trials {
+				t.Errorf("trial count diverged: %d vs %d", serial.trials, parallel.trials)
+			}
+			if len(serial.history) != len(parallel.history) {
+				t.Fatalf("history length diverged: %d vs %d", len(serial.history), len(parallel.history))
+			}
+			for i := range serial.history {
+				if serial.history[i] != parallel.history[i] {
+					t.Errorf("history[%d] diverged: %+v vs %+v", i, serial.history[i], parallel.history[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTuneNetworkDeterministicAcrossWorkers extends the contract to the
+// task scheduler: concurrent warm-up rounds over a shared measurer must
+// not perturb latencies or total trial accounting.
+func TestTuneNetworkDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) NetworkResult {
+		net, err := BuiltinNetwork("dcgan", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := TuneNetwork(net, TargetIntelCPU(true), TuningOptions{
+			Trials: 16, MeasuresPerRound: 8, Seed: 3, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.Latency != parallel.Latency {
+		t.Errorf("network latency diverged: %g vs %g", serial.Latency, parallel.Latency)
+	}
+	if serial.Trials != parallel.Trials {
+		t.Errorf("trials diverged: %d vs %d", serial.Trials, parallel.Trials)
+	}
+	for name, lat := range serial.TaskLatencies {
+		if plat := parallel.TaskLatencies[name]; plat != lat {
+			t.Errorf("task %s latency diverged: %g vs %g", name, lat, plat)
+		}
+	}
+}

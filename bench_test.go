@@ -159,6 +159,39 @@ func BenchmarkRandomAnnotation(b *testing.B) {
 	}
 }
 
+// BenchmarkMeasureParallel sweeps the measurer's worker count over one
+// 256-program batch — the perf trajectory of the concurrent pipeline.
+// Results are bit-identical across worker counts (asserted against the
+// serial run); only throughput may differ. On a multi-core runner the
+// 4-worker case should exceed 2x the serial programs/s.
+func BenchmarkMeasureParallel(b *testing.B) {
+	d := convDAG()
+	sk, err := sketch.NewGenerator(sketch.CPUTarget()).Generate(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop := anno.NewSampler(sketch.CPUTarget(), 1).SamplePopulation(sk, 256)
+	ref := measure.New(sim.IntelXeon(), 0.02, 1).Measure(pop)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			ms := measure.New(sim.IntelXeon(), 0.02, 1)
+			ms.Workers = w
+			b.ResetTimer()
+			var res []measure.Result
+			for i := 0; i < b.N; i++ {
+				res = ms.Measure(pop)
+			}
+			b.StopTimer()
+			for i := range res {
+				if res[i].Seconds != ref[i].Seconds {
+					b.Fatalf("workers=%d: result %d diverged from serial", w, i)
+				}
+			}
+			b.ReportMetric(float64(len(pop))*float64(b.N)/b.Elapsed().Seconds(), "programs/s")
+		})
+	}
+}
+
 func BenchmarkLowerAndSimulate(b *testing.B) {
 	d := convDAG()
 	sk, _ := sketch.NewGenerator(sketch.CPUTarget()).Generate(d)

@@ -26,12 +26,14 @@ func main() {
 		platform = flag.String("platform", "", "fig9 platform filter: intel, gpu, arm (empty = all)")
 		runs     = flag.Int("runs", 3, "fig7 median-of-N runs")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
 	cfg := exp.DefaultConfig()
 	cfg.Out = os.Stdout
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if *trials > 0 {
 		cfg.Trials = *trials
 	}

@@ -28,6 +28,7 @@ func main() {
 		trials   = flag.Int("trials", 1000, "measurement trials (per task for networks)")
 		perRound = flag.Int("per-round", 64, "measurements per search round")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -59,7 +60,7 @@ func main() {
 	default:
 		fatalf("unknown target %q", *target)
 	}
-	opts := ansor.TuningOptions{Trials: *trials, MeasuresPerRound: *perRound, Seed: *seed}
+	opts := ansor.TuningOptions{Trials: *trials, MeasuresPerRound: *perRound, Seed: *seed, Workers: *workers}
 
 	switch {
 	case *network != "":

@@ -99,10 +99,10 @@ func (b *Beam) SearchRound(numMeasure int) []measure.Result {
 
 // Tune runs rounds until the trial budget is exhausted.
 func (b *Beam) Tune(totalTrials, perRound int) float64 {
-	start := b.Measurer.Trials
-	for b.Measurer.Trials-start < totalTrials {
+	start := b.Measurer.Trials()
+	for b.Measurer.Trials()-start < totalTrials {
 		n := perRound
-		if rem := totalTrials - (b.Measurer.Trials - start); rem < n {
+		if rem := totalTrials - (b.Measurer.Trials() - start); rem < n {
 			n = rem
 		}
 		if len(b.SearchRound(n)) == 0 {

@@ -6,6 +6,11 @@
 // node-based crossover that merges the per-node steps of two parents.
 // Every offspring is verified by replaying its step list; invalid
 // offspring are discarded.
+//
+// Scoring and offspring generation are sharded across a worker pool.
+// Determinism is independent of the worker count: every offspring attempt
+// owns a private RNG derived from (Seed, generation, attempt index), so
+// no goroutine ever reads a shared random stream (see DESIGN.md).
 package evo
 
 import (
@@ -14,6 +19,7 @@ import (
 
 	"repro/internal/anno"
 	"repro/internal/ir"
+	"repro/internal/pool"
 	"repro/internal/te"
 )
 
@@ -27,6 +33,10 @@ type Config struct {
 	// EliteCount survivors copied unchanged each generation.
 	EliteCount int
 	Seed       int64
+	// Workers bounds the goroutines used for scoring and offspring
+	// generation (0 = GOMAXPROCS). Results are bit-identical for any
+	// value.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used in the evaluation.
@@ -42,6 +52,10 @@ func DefaultConfig() Config {
 
 // Scorer predicts the fitness of programs (higher = better). It also
 // exposes per-node scores for crossover donor selection.
+//
+// Implementations must be safe for concurrent calls: the search shards
+// Score over disjoint sub-slices and calls NodeScores from offspring
+// workers in parallel.
 type Scorer interface {
 	// Score returns a fitness per state.
 	Score(states []*ir.State) []float64
@@ -52,13 +66,26 @@ type Scorer interface {
 
 // Search runs evolutionary fine-tuning.
 type Search struct {
-	Cfg Config
-	rng *rand.Rand
+	Cfg  Config
+	pool *pool.Pool
 }
 
 // NewSearch returns a seeded evolutionary search.
 func NewSearch(cfg Config) *Search {
-	return &Search{Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Search{Cfg: cfg, pool: pool.New(cfg.Workers)}
+}
+
+// attemptSeed derives the private RNG seed of one offspring attempt from
+// the search seed, the generation, and the attempt ordinal. SplitMix64
+// finalization decorrelates neighbouring attempts.
+func attemptSeed(seed int64, gen, attempt int) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15*(uint64(gen)*1000003+uint64(attempt)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // Run evolves the initial population for the configured generations and
@@ -70,6 +97,7 @@ func (e *Search) Run(dag *te.DAG, init []*ir.State, scorer Scorer, out int) []*i
 	pop := append([]*ir.State(nil), init...)
 	type scored struct {
 		s     *ir.State
+		sig   string
 		score float64
 	}
 	best := map[string]scored{}
@@ -77,42 +105,69 @@ func (e *Search) Run(dag *te.DAG, init []*ir.State, scorer Scorer, out int) []*i
 		for i, s := range states {
 			sig := s.Signature()
 			if b, ok := best[sig]; !ok || scores[i] > b.score {
-				best[sig] = scored{s, scores[i]}
+				best[sig] = scored{s, sig, scores[i]}
 			}
 		}
 	}
-	scores := scorer.Score(pop)
+	scores := e.scoreAll(scorer, pop)
 	record(pop, scores)
 	for gen := 0; gen < e.Cfg.Generations; gen++ {
 		next := e.elites(pop, scores)
-		sel := newRoulette(scores, e.rng)
-		guard := 0
-		for len(next) < e.Cfg.PopulationSize && guard < 20*e.Cfg.PopulationSize {
-			guard++
-			var child *ir.State
-			if e.rng.Float64() < e.Cfg.CrossoverProb && len(pop) >= 2 {
-				a, b := pop[sel.pick()], pop[sel.pick()]
-				child = e.crossover(dag, a, b, scorer)
-			} else {
-				child = e.mutate(dag, pop[sel.pick()])
+		sel := newRoulette(scores)
+		// Offspring attempts run in waves. A wave's size depends only on
+		// how many children are still missing — never on the worker count
+		// — and each attempt's outcome is a pure function of its seed and
+		// the (frozen) parent population, so valid children arrive in a
+		// deterministic order regardless of scheduling.
+		maxAttempts := 20 * e.Cfg.PopulationSize
+		attempt := 0
+		for len(next) < e.Cfg.PopulationSize && attempt < maxAttempts {
+			// First wave: exactly the missing count (most attempts are
+			// valid, so surplus offspring would just be discarded).
+			// Top-up waves double the missing count to converge fast when
+			// this sketch's validity rate proves low. The partition never
+			// changes the result: children are taken in attempt order, and
+			// attempt k's outcome is independent of wave boundaries.
+			wave := e.Cfg.PopulationSize - len(next)
+			if attempt > 0 {
+				wave *= 2
 			}
-			if child != nil {
-				next = append(next, child)
+			if wave > maxAttempts-attempt {
+				wave = maxAttempts - attempt
+			}
+			children := make([]*ir.State, wave)
+			base := attempt
+			e.pool.Map(wave, func(k int) {
+				rng := rand.New(rand.NewSource(attemptSeed(e.Cfg.Seed, gen, base+k)))
+				children[k] = e.offspring(dag, pop, sel, scorer, rng)
+			})
+			attempt += wave
+			for _, c := range children {
+				if c != nil && len(next) < e.Cfg.PopulationSize {
+					next = append(next, c)
+				}
 			}
 		}
 		if len(next) == 0 {
 			break
 		}
 		pop = next
-		scores = scorer.Score(pop)
+		scores = e.scoreAll(scorer, pop)
 		record(pop, scores)
 	}
-	// Return the top `out` distinct programs.
+	// Return the top `out` distinct programs. Equal scores tie-break on
+	// the program signature: map iteration order must never leak into the
+	// result (the determinism contract of DESIGN.md).
 	all := make([]scored, 0, len(best))
 	for _, b := range best {
 		all = append(all, b)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].sig < all[j].sig
+	})
 	if out > len(all) {
 		out = len(all)
 	}
@@ -121,6 +176,41 @@ func (e *Search) Run(dag *te.DAG, init []*ir.State, scorer Scorer, out int) []*i
 		res[i] = all[i].s
 	}
 	return res
+}
+
+// offspring produces one child (or nil) from its private RNG.
+func (e *Search) offspring(dag *te.DAG, pop []*ir.State, sel *roulette, scorer Scorer, rng *rand.Rand) *ir.State {
+	if rng.Float64() < e.Cfg.CrossoverProb && len(pop) >= 2 {
+		a, b := pop[sel.pick(rng)], pop[sel.pick(rng)]
+		return e.crossover(dag, a, b, scorer, rng)
+	}
+	return e.mutate(dag, pop[sel.pick(rng)], rng)
+}
+
+// scoreChunk is the fixed shard size of ScoreAll. It depends only on the
+// data, never on the worker count, so scores are identical either way.
+const scoreChunk = 8
+
+// ScoreAll shards scorer.Score over the pool in contiguous chunks with
+// order-stable results; scorer must tolerate concurrent calls on
+// disjoint sub-slices. It is shared by the evolutionary search and the
+// policy's batch selection.
+func ScoreAll(pl *pool.Pool, scorer Scorer, states []*ir.State) []float64 {
+	out := make([]float64, len(states))
+	chunks := (len(states) + scoreChunk - 1) / scoreChunk
+	pl.Map(chunks, func(c int) {
+		lo := c * scoreChunk
+		hi := lo + scoreChunk
+		if hi > len(states) {
+			hi = len(states)
+		}
+		copy(out[lo:hi], scorer.Score(states[lo:hi]))
+	})
+	return out
+}
+
+func (e *Search) scoreAll(scorer Scorer, pop []*ir.State) []float64 {
+	return ScoreAll(e.pool, scorer, pop)
 }
 
 // elites returns the top EliteCount programs of the current population.
@@ -142,13 +232,13 @@ func (e *Search) elites(pop []*ir.State, scores []float64) []*ir.State {
 }
 
 // roulette implements fitness-proportional selection with a shift making
-// all weights positive.
+// all weights positive. It is immutable after construction; callers pass
+// their own RNG to pick, so concurrent picks stay independent.
 type roulette struct {
 	cum []float64
-	rng *rand.Rand
 }
 
-func newRoulette(scores []float64, rng *rand.Rand) *roulette {
+func newRoulette(scores []float64) *roulette {
 	min := 0.0
 	for _, s := range scores {
 		if s < min {
@@ -161,33 +251,33 @@ func newRoulette(scores []float64, rng *rand.Rand) *roulette {
 		total += s - min + 1e-6
 		cum[i] = total
 	}
-	return &roulette{cum: cum, rng: rng}
+	return &roulette{cum: cum}
 }
 
-func (r *roulette) pick() int {
+func (r *roulette) pick(rng *rand.Rand) int {
 	if len(r.cum) == 0 {
 		return 0
 	}
-	x := r.rng.Float64() * r.cum[len(r.cum)-1]
+	x := rng.Float64() * r.cum[len(r.cum)-1]
 	return sort.SearchFloat64s(r.cum, x)
 }
 
 // mutate applies one randomly chosen evolution operation to a copy of the
 // parent's steps and replays; nil on invalid offspring.
-func (e *Search) mutate(dag *te.DAG, parent *ir.State) *ir.State {
+func (e *Search) mutate(dag *te.DAG, parent *ir.State, rng *rand.Rand) *ir.State {
 	steps := cloneSteps(parent.Steps)
 	ok := false
-	switch e.rng.Intn(5) {
+	switch rng.Intn(5) {
 	case 0:
-		ok = e.mutateTileSize(steps)
+		ok = mutateTileSize(steps, rng)
 	case 1:
-		ok = e.mutateAnnotation(steps)
+		ok = mutateAnnotation(steps, rng)
 	case 2:
-		ok = e.mutateParallelGranularity(steps)
+		ok = mutateParallelGranularity(steps, rng)
 	case 3:
-		ok = e.mutateComputeLocation(steps)
+		ok = mutateComputeLocation(steps, rng)
 	case 4:
-		ok = e.mutatePragma(steps)
+		ok = mutatePragma(steps, rng)
 	}
 	if !ok {
 		return nil
@@ -210,7 +300,7 @@ func cloneSteps(steps []ir.Step) []ir.Step {
 // mutateTileSize implements the paper's tile size mutation: divide one
 // tile level by a factor and multiply another level of the same axis by
 // the same factor, keeping the product equal to the loop length.
-func (e *Search) mutateTileSize(steps []ir.Step) bool {
+func mutateTileSize(steps []ir.Step, rng *rand.Rand) bool {
 	var tiles []*ir.MultiLevelTileStep
 	var rfs []*ir.RFactorStep
 	for _, s := range steps {
@@ -226,26 +316,26 @@ func (e *Search) mutateTileSize(steps []ir.Step) bool {
 	if len(tiles) == 0 && len(rfs) == 0 {
 		return false
 	}
-	if len(rfs) > 0 && (len(tiles) == 0 || e.rng.Float64() < 0.2) {
+	if len(rfs) > 0 && (len(tiles) == 0 || rng.Float64() < 0.2) {
 		// Mutate an rfactor split factor.
-		rf := rfs[e.rng.Intn(len(rfs))]
-		if e.rng.Intn(2) == 0 {
+		rf := rfs[rng.Intn(len(rfs))]
+		if rng.Intn(2) == 0 {
 			rf.Factor *= 2
 		} else if rf.Factor%2 == 0 {
 			rf.Factor /= 2
 		}
 		return rf.Factor >= 2
 	}
-	t := tiles[e.rng.Intn(len(tiles))]
+	t := tiles[rng.Intn(len(tiles))]
 	all := [][][]int{t.SpaceFactors, t.ReduceFactors}
-	group := all[e.rng.Intn(2)]
+	group := all[rng.Intn(2)]
 	if len(group) == 0 {
 		group = t.SpaceFactors
 	}
 	if len(group) == 0 {
 		return false
 	}
-	fs := group[e.rng.Intn(len(group))]
+	fs := group[rng.Intn(len(group))]
 	if len(fs) == 0 {
 		return false
 	}
@@ -260,22 +350,22 @@ func (e *Search) mutateTileSize(steps []ir.Step) bool {
 	if len(srcCandidates) == 0 {
 		// All inner levels are 1: steal from the derived outer level by
 		// multiplying one inner level (replay checks divisibility).
-		fs[e.rng.Intn(len(fs))] *= []int{2, 3, 4}[e.rng.Intn(3)]
+		fs[rng.Intn(len(fs))] *= []int{2, 3, 4}[rng.Intn(3)]
 		return true
 	}
-	src := srcCandidates[e.rng.Intn(len(srcCandidates))]
+	src := srcCandidates[rng.Intn(len(srcCandidates))]
 	ds := anno.Divisors(fs[src])
-	f := ds[1+e.rng.Intn(len(ds)-1)] // a divisor > 1
+	f := ds[1+rng.Intn(len(ds)-1)] // a divisor > 1
 	fs[src] /= f
-	if e.rng.Intn(len(fs)+1) > 0 { // sometimes move to outer (derived)
-		dst := e.rng.Intn(len(fs))
+	if rng.Intn(len(fs)+1) > 0 { // sometimes move to outer (derived)
+		dst := rng.Intn(len(fs))
 		fs[dst] *= f
 	}
 	return true
 }
 
 // mutateAnnotation rewrites one annotation step's kind.
-func (e *Search) mutateAnnotation(steps []ir.Step) bool {
+func mutateAnnotation(steps []ir.Step, rng *rand.Rand) bool {
 	var anns []*ir.AnnotateStep
 	for _, s := range steps {
 		if a, ok := s.(*ir.AnnotateStep); ok {
@@ -285,18 +375,18 @@ func (e *Search) mutateAnnotation(steps []ir.Step) bool {
 	if len(anns) == 0 {
 		return false
 	}
-	a := anns[e.rng.Intn(len(anns))]
+	a := anns[rng.Intn(len(anns))]
 	choices := []ir.Annotation{ir.AnnNone, ir.AnnVectorize, ir.AnnUnroll, ir.AnnParallel}
-	a.Ann = choices[e.rng.Intn(len(choices))]
+	a.Ann = choices[rng.Intn(len(choices))]
 	return true
 }
 
 // mutateParallelGranularity changes how many outer loops are fused for
 // the parallel annotation (the paper's parallel granularity mutation).
-func (e *Search) mutateParallelGranularity(steps []ir.Step) bool {
+func mutateParallelGranularity(steps []ir.Step, rng *rand.Rand) bool {
 	for _, s := range steps {
 		if f, ok := s.(*ir.FuseStep); ok && f.First == 0 {
-			if e.rng.Intn(2) == 0 {
+			if rng.Intn(2) == 0 {
 				f.Count++
 			} else if f.Count > 2 {
 				f.Count--
@@ -308,7 +398,7 @@ func (e *Search) mutateParallelGranularity(steps []ir.Step) bool {
 }
 
 // mutateComputeLocation moves the fusion point of a fused consumer.
-func (e *Search) mutateComputeLocation(steps []ir.Step) bool {
+func mutateComputeLocation(steps []ir.Step, rng *rand.Rand) bool {
 	var fcs []*ir.FuseConsumerStep
 	for _, s := range steps {
 		if f, ok := s.(*ir.FuseConsumerStep); ok {
@@ -318,8 +408,8 @@ func (e *Search) mutateComputeLocation(steps []ir.Step) bool {
 	if len(fcs) == 0 {
 		return false
 	}
-	f := fcs[e.rng.Intn(len(fcs))]
-	if e.rng.Intn(2) == 0 && f.OuterLevels > 1 {
+	f := fcs[rng.Intn(len(fcs))]
+	if rng.Intn(2) == 0 && f.OuterLevels > 1 {
 		f.OuterLevels--
 	} else {
 		f.OuterLevels++
@@ -328,11 +418,11 @@ func (e *Search) mutateComputeLocation(steps []ir.Step) bool {
 }
 
 // mutatePragma rewrites an auto_unroll_max_step pragma.
-func (e *Search) mutatePragma(steps []ir.Step) bool {
+func mutatePragma(steps []ir.Step, rng *rand.Rand) bool {
 	candidates := []int{0, 16, 64, 512}
 	for _, s := range steps {
 		if p, ok := s.(*ir.PragmaStep); ok {
-			p.AutoUnrollMax = candidates[e.rng.Intn(len(candidates))]
+			p.AutoUnrollMax = candidates[rng.Intn(len(candidates))]
 			return true
 		}
 	}
@@ -343,18 +433,23 @@ func (e *Search) mutatePragma(steps []ir.Step) bool {
 // tag, the steps of the parent whose node scores higher are kept. Parent
 // A's step sequence is the template; steps of tags donated by B are
 // substituted positionally with B's same-type steps of that tag.
-func (e *Search) crossover(dag *te.DAG, a, b *ir.State, scorer Scorer) *ir.State {
+func (e *Search) crossover(dag *te.DAG, a, b *ir.State, scorer Scorer, rng *rand.Rand) *ir.State {
 	scoreA := scorer.NodeScores(a)
 	scoreB := scorer.NodeScores(b)
 	donorB := map[string]bool{}
-	tags := map[string]bool{}
+	var tags []string
+	seen := map[string]bool{}
 	for _, s := range a.Steps {
-		tags[ir.BaseStage(s.StageName())] = true
+		tag := ir.BaseStage(s.StageName())
+		if !seen[tag] {
+			seen[tag] = true
+			tags = append(tags, tag)
+		}
 	}
-	for tag := range tags {
+	for _, tag := range tags {
 		switch {
 		case scoreA == nil || scoreB == nil:
-			donorB[tag] = e.rng.Intn(2) == 0
+			donorB[tag] = rng.Intn(2) == 0
 		default:
 			donorB[tag] = scoreB[tag] > scoreA[tag]
 		}

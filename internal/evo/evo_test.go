@@ -1,6 +1,7 @@
 package evo
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/anno"
@@ -113,11 +114,11 @@ func TestOffspringAreValidAndComplete(t *testing.T) {
 func TestTileSizeMutationKeepsProduct(t *testing.T) {
 	d := matmulReLU(512, 512, 512)
 	pop := initPop(t, d, 4, 5)
-	e := NewSearch(Config{Seed: 6, PopulationSize: 4, Generations: 1, EliteCount: 1})
+	rng := rand.New(rand.NewSource(6))
 	hits := 0
 	for i := 0; i < 200; i++ {
 		steps := cloneSteps(pop[i%len(pop)].Steps)
-		if !e.mutateTileSize(steps) {
+		if !mutateTileSize(steps, rng) {
 			continue
 		}
 		s, err := ir.Replay(d, steps)
@@ -143,9 +144,10 @@ func TestCrossoverMergesParents(t *testing.T) {
 	pop := initPop(t, d, 8, 7)
 	e := NewSearch(Config{Seed: 8, PopulationSize: 8, Generations: 1, EliteCount: 1})
 	m := sim.IntelXeon()
+	rng := rand.New(rand.NewSource(8))
 	ok := 0
 	for i := 0; i+1 < len(pop); i++ {
-		if c := e.crossover(d, pop[i], pop[i+1], oracleScorer{m}); c != nil {
+		if c := e.crossover(d, pop[i], pop[i+1], oracleScorer{m}, rng); c != nil {
 			ok++
 		}
 	}
@@ -155,15 +157,49 @@ func TestCrossoverMergesParents(t *testing.T) {
 }
 
 func TestRouletteFavorsHighScores(t *testing.T) {
-	e := NewSearch(Config{Seed: 9})
-	r := newRoulette([]float64{0.1, 0.1, 10}, e.rng)
+	rng := rand.New(rand.NewSource(9))
+	r := newRoulette([]float64{0.1, 0.1, 10})
 	count := 0
 	for i := 0; i < 1000; i++ {
-		if r.pick() == 2 {
+		if r.pick(rng) == 2 {
 			count++
 		}
 	}
 	if count < 800 {
 		t.Errorf("high-fitness program picked only %d/1000 times", count)
+	}
+}
+
+// TestSearchDeterministicAcrossWorkers is the package-level determinism
+// contract: the same seed must yield bit-identical results for any worker
+// count, because offspring attempts derive private RNGs from (seed,
+// generation, attempt) rather than sharing a stream.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	d := matmulReLU(512, 512, 512)
+	m := sim.IntelXeon()
+	pop := initPop(t, d, 48, 11)
+	run := func(workers int) []string {
+		search := NewSearch(Config{
+			PopulationSize: 48, Generations: 4, CrossoverProb: 0.2,
+			EliteCount: 6, Seed: 3, Workers: workers,
+		})
+		out := search.Run(d, pop, oracleScorer{m}, 12)
+		sigs := make([]string, len(out))
+		for i, s := range out {
+			sigs[i] = s.Signature()
+		}
+		return sigs
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d returned %d programs, workers=1 returned %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d diverged at output %d:\n%s\nvs\n%s", workers, i, got[i], want[i])
+			}
+		}
 	}
 }

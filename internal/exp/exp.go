@@ -33,8 +33,19 @@ type Config struct {
 	Seed int64
 	// Noise is the relative measurement jitter.
 	Noise float64
+	// Workers bounds the goroutines used by measurement, search and the
+	// task scheduler (0 = GOMAXPROCS). Results are bit-identical for any
+	// value.
+	Workers int
 	// Out receives the printed rows (nil = discard).
 	Out io.Writer
+}
+
+// measurer builds a measurer wired to the config's worker setting.
+func (c Config) measurer(m *sim.Machine, seed int64) *measure.Measurer {
+	ms := measure.New(m, c.Noise, seed)
+	ms.Workers = c.Workers
+	return ms
 }
 
 // DefaultConfig is the reduced-scale configuration used by the benches.
@@ -125,24 +136,24 @@ func searchFramework(fw Framework, d *te.DAG, plat Platform, cfg Config) float64
 	task := policy.Task{Name: d.Name, DAG: d, Target: plat.Target, Weight: 1}
 	switch fw {
 	case FwHalide:
-		ms := measure.New(plat.Machine, cfg.Noise, cfg.Seed)
+		ms := cfg.measurer(plat.Machine, cfg.Seed)
 		return baselines.NewBeam(d, 8, ms, cfg.Seed).Tune(cfg.Trials, cfg.PerRound)
 	case FwFlexTensor:
-		ms := measure.New(plat.Machine, cfg.Noise, cfg.Seed)
+		ms := cfg.measurer(plat.Machine, cfg.Seed)
 		p, err := baselines.NewFlexTensor(task, ms, cfg.Seed)
 		if err != nil {
 			return math.Inf(1)
 		}
 		return p.Tune(cfg.Trials, cfg.PerRound)
 	case FwAutoTVM:
-		ms := measure.New(plat.Machine, cfg.Noise, cfg.Seed)
+		ms := cfg.measurer(plat.Machine, cfg.Seed)
 		p, err := baselines.NewAutoTVM(task, ms, cfg.Seed)
 		if err != nil {
 			return math.Inf(1)
 		}
 		return p.Tune(cfg.Trials, cfg.PerRound)
 	case FwAnsor:
-		ms := measure.New(plat.Machine, cfg.Noise, cfg.Seed)
+		ms := cfg.measurer(plat.Machine, cfg.Seed)
 		p, err := baselines.NewAnsor(task, ms, cfg.Seed)
 		if err != nil {
 			return math.Inf(1)

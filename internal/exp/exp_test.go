@@ -35,10 +35,41 @@ func TestFig3Shape(t *testing.T) {
 func TestFig6SubsetShape(t *testing.T) {
 	// A reduced Fig-6: verify Ansor wins the exotic ops where the paper
 	// reports its largest speedups (NRM via rfactor, T2D via tile
-	// structure + zero elision).
+	// structure + zero elision). Short mode runs only those two families
+	// against AutoTVM — the wins are structural (rfactor and zero
+	// elision are absent from the restricted space), so they hold at a
+	// fraction of the budget; the 10-family sweep stays in default mode.
+	if testing.Short() {
+		plat := IntelPlatform(false)
+		// T2D's zero-elision edge needs a few more rounds to surface than
+		// NRM's rfactor edge.
+		for op, trials := range map[string]int{"NRM": 64, "T2D": 128} {
+			cfg := tinyConfig()
+			cfg.Trials = trials
+			var ansorT, autotvmT []float64
+			for i, w := range workloads.SingleOps(1) {
+				if w.Op != op {
+					continue
+				}
+				d := w.Build()
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)*131
+				ansorT = append(ansorT, d.TotalFlops()/searchFramework(FwAnsor, d, plat, c))
+				autotvmT = append(autotvmT, d.TotalFlops()/searchFramework(FwAutoTVM, d, plat, c))
+			}
+			if len(ansorT) == 0 {
+				t.Fatalf("no %s shapes found", op)
+			}
+			if ga, gt := geomean(ansorT), geomean(autotvmT); ga <= gt {
+				t.Errorf("%s: Ansor geomean throughput %.4g should beat AutoTVM's %.4g", op, ga, gt)
+			}
+		}
+		return
+	}
 	cfg := tinyConfig()
 	cfg.Trials = 100
 	cfg.PerRound = 20
+	minWins := 7
 	r := Fig6(cfg, 1)
 	if len(r.Rows) != 10 {
 		t.Fatalf("want 10 operator rows, got %d", len(r.Rows))
@@ -56,8 +87,8 @@ func TestFig6SubsetShape(t *testing.T) {
 	}
 	// At this reduced budget Ansor should already lead most families; at
 	// paper scale (1000 trials) it wins 19/20 — see EXPERIMENTS.md.
-	if n := r.AnsorBestCount(); n < 7 {
-		t.Errorf("Ansor best on only %d/10 op families; paper shape is ~19/20", n)
+	if n := r.AnsorBestCount(); n < minWins {
+		t.Errorf("Ansor best on only %d/10 op families, want >= %d; paper shape is ~19/20", n, minWins)
 	}
 }
 
@@ -110,20 +141,27 @@ func TestVendorNetworkTimes(t *testing.T) {
 func TestFig7CurvesShape(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Trials = 240
+	if testing.Short() {
+		cfg.Trials = 64
+	}
 	r := Fig7(cfg, 1)
 	ansor := r.Curves[V7Ansor]
 	if len(ansor.Trials) == 0 {
 		t.Fatal("empty Ansor curve")
 	}
 	// The paper's ordering: Ansor ends highest; beam search ends lowest
-	// among the search variants (aggressive early pruning).
-	if ansor.Final < r.Curves[V7BeamSearch].Final {
-		t.Errorf("Ansor final %.3f below beam search %.3f",
-			ansor.Final, r.Curves[V7BeamSearch].Final)
-	}
-	if ansor.Final < r.Curves[V7LimitedSpace].Final {
-		t.Errorf("Ansor final %.3f below limited space %.3f",
-			ansor.Final, r.Curves[V7LimitedSpace].Final)
+	// among the search variants (aggressive early pruning). The ordering
+	// needs the full budget to separate reliably, so it is checked only
+	// in the default mode.
+	if !testing.Short() {
+		if ansor.Final < r.Curves[V7BeamSearch].Final {
+			t.Errorf("Ansor final %.3f below beam search %.3f",
+				ansor.Final, r.Curves[V7BeamSearch].Final)
+		}
+		if ansor.Final < r.Curves[V7LimitedSpace].Final {
+			t.Errorf("Ansor final %.3f below limited space %.3f",
+				ansor.Final, r.Curves[V7LimitedSpace].Final)
+		}
 	}
 	// Curves are non-decreasing (best-so-far).
 	for i := 1; i < len(ansor.Perf); i++ {

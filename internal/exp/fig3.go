@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/anno"
 	"repro/internal/feat"
-	"repro/internal/ir"
 	"repro/internal/measure"
 	"repro/internal/sketch"
 	"repro/internal/te"
@@ -49,11 +48,11 @@ func Fig3(cfg Config) Fig3Result {
 	sp := anno.NewSampler(sketch.CPUTarget(), cfg.Seed)
 	progs := sp.SamplePopulation(sketches, nProgs)
 	ms := measure.New(IntelPlatform(false).Machine, 0, cfg.Seed)
+	ms.Workers = cfg.Workers
 
 	var feats [][][]float64
 	var times []float64
-	for _, s := range progs {
-		r := ms.Measure([]*ir.State{s})[0]
+	for _, r := range ms.Measure(progs) {
 		if r.Err != nil {
 			continue
 		}

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"repro/internal/baselines"
-	"repro/internal/measure"
 	"repro/internal/policy"
 	"repro/internal/te"
 )
@@ -65,7 +64,7 @@ func Fig7(cfg Config, runs int) Fig7Result {
 			seed := cfg.Seed + int64(r)*1009
 			d := lastResNetConv()
 			plat := IntelPlatform(false)
-			ms := measure.New(plat.Machine, cfg.Noise, seed)
+			ms := cfg.measurer(plat.Machine, seed)
 			var h hist
 			record := func(trials int, best float64) {
 				h.trials = append(h.trials, trials)
@@ -78,9 +77,9 @@ func Fig7(cfg Config, runs int) Fig7Result {
 			switch v {
 			case V7BeamSearch:
 				bm := baselines.NewBeam(d, 8, ms, seed)
-				for ms.Trials < cfg.Trials {
-					bm.SearchRound(min(cfg.PerRound, cfg.Trials-ms.Trials))
-					record(ms.Trials, bm.BestTime)
+				for ms.Trials() < cfg.Trials {
+					bm.SearchRound(min(cfg.PerRound, cfg.Trials-ms.Trials()))
+					record(ms.Trials(), bm.BestTime)
 				}
 			default:
 				var p *policy.Policy
@@ -96,9 +95,9 @@ func Fig7(cfg Config, runs int) Fig7Result {
 				if err != nil {
 					panic(err)
 				}
-				for ms.Trials < cfg.Trials {
-					p.SearchRound(min(cfg.PerRound, cfg.Trials-ms.Trials))
-					record(ms.Trials, p.BestTime)
+				for ms.Trials() < cfg.Trials {
+					p.SearchRound(min(cfg.PerRound, cfg.Trials-ms.Trials()))
+					record(ms.Trials(), p.BestTime)
 				}
 			}
 			curvesRaw[v] = append(curvesRaw[v], h)

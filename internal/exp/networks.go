@@ -40,7 +40,7 @@ type NetTuneResult struct {
 // the budget: total trials ≈ trialsPerTask × number of unique tasks.
 func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 	variant NetVariant, trialsPerTask int) NetTuneResult {
-	ms := measure.New(plat.Machine, cfg.Noise, cfg.Seed)
+	ms := cfg.measurer(plat.Machine, cfg.Seed)
 
 	mk := func(task policy.Task, m *measure.Measurer, seed int64) (*policy.Policy, error) {
 		switch variant {
@@ -92,6 +92,7 @@ func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 
 	opts := sched.DefaultOptions()
 	opts.Seed = cfg.Seed
+	opts.Workers = cfg.Workers
 	opts.RoundRobin = variant == VariantNoTaskScheduler || variant == VariantAutoTVM
 
 	var obj sched.Objective = sched.F1{DNNs: dnns}
@@ -105,10 +106,11 @@ func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 	for _, net := range nets {
 		res.Networks = append(res.Networks, net.Name)
 	}
-	// Run unit by unit to record the curve.
-	for s.Units < totalUnits {
-		target := s.Units + 1
-		s.Run(target)
+	// Step wave by wave to record the curve: warm-up and round-robin
+	// waves keep their internal parallelism, and wave boundaries depend
+	// only on scheduler state, so the curve is identical for any worker
+	// count.
+	for s.Step(totalUnits) > 0 {
 		lats := make([]float64, len(dnns))
 		g := make([]float64, len(tuners))
 		for i, t := range tuners {
@@ -117,7 +119,7 @@ func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 		for j, d := range dnns {
 			lats[j] = d.Latency(g)
 		}
-		res.Curve = append(res.Curve, NetCurvePoint{Trials: ms.Trials, Latencies: lats})
+		res.Curve = append(res.Curve, NetCurvePoint{Trials: ms.Trials(), Latencies: lats})
 	}
 	if len(res.Curve) > 0 {
 		res.Latencies = res.Curve[len(res.Curve)-1].Latencies
@@ -127,7 +129,7 @@ func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 			res.Latencies[i] = math.Inf(1)
 		}
 	}
-	res.Trials = ms.Trials
+	res.Trials = ms.Trials()
 	return res
 }
 

@@ -7,8 +7,10 @@ package measure
 import (
 	"hash/fnv"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/ir"
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -32,7 +34,9 @@ func (r Result) GFLOPS() float64 {
 	return r.Lowered.TotalFlops() / r.Seconds / 1e9
 }
 
-// Measurer measures batches of programs on one machine.
+// Measurer measures batches of programs on one machine. A Measurer may be
+// shared by concurrent searches: Measure is safe for concurrent use and
+// trial accounting is atomic.
 type Measurer struct {
 	Machine *sim.Machine
 	// NoiseStd is the relative standard deviation of measurement noise
@@ -40,9 +44,15 @@ type Measurer struct {
 	// the program, emulating repeatable per-program measurement bias.
 	NoiseStd float64
 	Seed     int64
-	// Trials counts measurements performed, the unit of search budget in
-	// all of §7's experiments.
-	Trials int
+	// Workers bounds the goroutines lowering and timing one batch
+	// (0 = GOMAXPROCS). Results are order-stable and bit-identical for
+	// any value: each program's measurement is a pure function of the
+	// program and the measurer's seed.
+	Workers int
+
+	// trials counts measurements performed, the unit of search budget in
+	// all of §7's experiments; read it through Trials.
+	trials atomic.Int64
 }
 
 // New returns a measurer for the machine.
@@ -50,17 +60,22 @@ func New(m *sim.Machine, noiseStd float64, seed int64) *Measurer {
 	return &Measurer{Machine: m, NoiseStd: noiseStd, Seed: seed}
 }
 
-// Measure lowers and times the given programs.
+// Trials returns the total measurements performed so far across all
+// callers of Measure.
+func (ms *Measurer) Trials() int { return int(ms.trials.Load()) }
+
+// Measure lowers and times the given programs across Workers goroutines.
+// out[i] always corresponds to states[i].
 func (ms *Measurer) Measure(states []*ir.State) []Result {
 	out := make([]Result, len(states))
-	for i, s := range states {
-		out[i] = ms.measureOne(s)
-	}
+	pool.New(ms.Workers).Map(len(states), func(i int) {
+		out[i] = ms.measureOne(states[i])
+	})
+	ms.trials.Add(int64(len(states)))
 	return out
 }
 
 func (ms *Measurer) measureOne(s *ir.State) Result {
-	ms.Trials++
 	low, err := ir.Lower(s)
 	if err != nil {
 		return Result{State: s, Err: err}

@@ -23,8 +23,8 @@ func TestMeasureCountsTrials(t *testing.T) {
 	ms := New(sim.IntelXeon(), 0, 1)
 	s := matmulState(t)
 	res := ms.Measure([]*ir.State{s, s, s})
-	if ms.Trials != 3 {
-		t.Errorf("trials = %d, want 3", ms.Trials)
+	if ms.Trials() != 3 {
+		t.Errorf("trials = %d, want 3", ms.Trials())
 	}
 	for _, r := range res {
 		if r.Err != nil || r.Seconds <= 0 {

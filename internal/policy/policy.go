@@ -10,12 +10,14 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/anno"
 	"repro/internal/evo"
 	"repro/internal/feat"
 	"repro/internal/ir"
 	"repro/internal/measure"
+	"repro/internal/pool"
 	"repro/internal/sketch"
 	"repro/internal/te"
 	"repro/internal/xgb"
@@ -63,6 +65,11 @@ type Options struct {
 	// template baselines.
 	FixedAnnotation bool
 	Seed            int64
+	// Workers bounds the goroutines used for candidate scoring, evolution
+	// and cost-model training (0 = inherit the measurer's setting, which
+	// itself defaults to GOMAXPROCS). Search results are bit-identical
+	// for any value.
+	Workers int
 }
 
 // DefaultOptions returns the configuration used in the evaluation.
@@ -88,6 +95,7 @@ type Policy struct {
 	sampler  *anno.Sampler
 	model    *xgb.CostModel
 	rng      *rand.Rand
+	pool     *pool.Pool
 
 	// Accumulated training data.
 	progFeats [][][]float64
@@ -102,8 +110,14 @@ type Policy struct {
 	BestTime  float64
 	BestState *ir.State
 
-	// History records (trial count, best time) after every round, for
-	// tuning curves.
+	// Trials counts the measurements performed by THIS policy. It is the
+	// policy's own budget unit: unlike the shared measurer's global
+	// counter it stays deterministic when independent tasks tune
+	// concurrently against one measurer.
+	Trials int
+
+	// History records (policy-local trial count, best time) after every
+	// round, for tuning curves.
 	History []HistoryPoint
 }
 
@@ -137,14 +151,20 @@ func New(task Task, opts Options, ms *measure.Measurer, extraRules ...sketch.Rul
 	}
 	sampler := anno.NewSampler(target, opts.Seed)
 	sampler.Fixed = opts.FixedAnnotation
+	if opts.Workers == 0 && ms != nil {
+		opts.Workers = ms.Workers
+	}
+	mopts := xgb.DefaultOpts()
+	mopts.Workers = opts.Workers
 	return &Policy{
 		Task:         task,
 		Opts:         opts,
 		Measurer:     ms,
 		sketches:     sketches,
 		sampler:      sampler,
-		model:        xgb.NewCostModel(xgb.DefaultOpts()),
+		model:        xgb.NewCostModel(mopts),
 		rng:          rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
+		pool:         pool.New(opts.Workers),
 		measuredSigs: map[string]bool{},
 		BestTime:     1e30,
 	}, nil
@@ -167,6 +187,9 @@ func (p *Policy) SearchRound(numMeasure int) []measure.Result {
 	if len(init) == 0 {
 		return nil
 	}
+	// One scorer serves the whole round so programs featurized during
+	// evolution are not re-lowered for batch selection.
+	sc := p.scorer()
 	var candidates []*ir.State
 	if p.Opts.DisableFineTuning || !p.model.Trained() {
 		candidates = init
@@ -177,11 +200,13 @@ func (p *Policy) SearchRound(numMeasure int) []measure.Result {
 			CrossoverProb:  0.15,
 			EliteCount:     p.Opts.Population / 8,
 			Seed:           p.rng.Int63(),
+			Workers:        p.Opts.Workers,
 		})
-		candidates = search.Run(p.Task.DAG, init, p.scorer(), 4*numMeasure)
+		candidates = search.Run(p.Task.DAG, init, sc, 4*numMeasure)
 	}
-	batch := p.pickBatch(candidates, numMeasure)
+	batch := p.pickBatch(sc, candidates, numMeasure)
 	results := p.Measurer.Measure(batch)
+	p.Trials += len(batch)
 	p.update(results)
 	return results
 }
@@ -189,7 +214,7 @@ func (p *Policy) SearchRound(numMeasure int) []measure.Result {
 // pickBatch selects the programs to measure: mostly the best-scoring
 // unmeasured candidates, with an ε fraction chosen at random (§6.2's
 // ε-greedy exploration applied at the program level).
-func (p *Policy) pickBatch(candidates []*ir.State, n int) []*ir.State {
+func (p *Policy) pickBatch(sc evo.Scorer, candidates []*ir.State, n int) []*ir.State {
 	var fresh []*ir.State
 	for _, c := range candidates {
 		if !p.measuredSigs[c.Signature()] {
@@ -200,7 +225,7 @@ func (p *Policy) pickBatch(candidates []*ir.State, n int) []*ir.State {
 		fresh = candidates
 	}
 	if p.model.Trained() && !p.Opts.DisableFineTuning {
-		scores := p.scorer().Score(fresh)
+		scores := p.scoreAll(sc, fresh)
 		idx := make([]int, len(fresh))
 		for i := range idx {
 			idx[i] = i
@@ -284,7 +309,13 @@ func (p *Policy) update(results []measure.Result) {
 		}
 		p.model.Fit(p.progFeats, y)
 	}
-	p.History = append(p.History, HistoryPoint{Trials: p.Measurer.Trials, BestTime: p.BestTime})
+	p.History = append(p.History, HistoryPoint{Trials: p.Trials, BestTime: p.BestTime})
+}
+
+// scoreAll shards scoring over the policy's worker pool with order-stable
+// results.
+func (p *Policy) scoreAll(sc evo.Scorer, states []*ir.State) []float64 {
+	return evo.ScoreAll(p.pool, sc, states)
 }
 
 // scorer adapts the cost model to the evolutionary search.
@@ -292,22 +323,28 @@ func (p *Policy) scorer() evo.Scorer {
 	return &modelScorer{model: p.model, cache: map[*ir.State][][]float64{}}
 }
 
+// modelScorer caches per-state features; it is safe for the concurrent
+// Score/NodeScores calls the sharded evolution makes.
 type modelScorer struct {
 	model *xgb.CostModel
+	mu    sync.Mutex
 	cache map[*ir.State][][]float64
 }
 
 func (m *modelScorer) features(s *ir.State) [][]float64 {
-	if f, ok := m.cache[s]; ok {
+	m.mu.Lock()
+	f, ok := m.cache[s]
+	m.mu.Unlock()
+	if ok {
 		return f
 	}
 	low, err := ir.Lower(s)
-	if err != nil {
-		m.cache[s] = nil
-		return nil
+	if err == nil {
+		f = feat.Extract(low)
 	}
-	f := feat.Extract(low)
+	m.mu.Lock()
 	m.cache[s] = f
+	m.mu.Unlock()
 	return f
 }
 
@@ -342,12 +379,13 @@ func (m *modelScorer) NodeScores(s *ir.State) map[string]float64 {
 }
 
 // Tune runs rounds until the trial budget is exhausted and returns the
-// best measured time.
+// best measured time. The budget is policy-local, so tuners sharing one
+// measurer spend independent budgets.
 func (p *Policy) Tune(totalTrials, perRound int) float64 {
-	start := p.Measurer.Trials
-	for p.Measurer.Trials-start < totalTrials {
+	start := p.Trials
+	for p.Trials-start < totalTrials {
 		n := perRound
-		if rem := totalTrials - (p.Measurer.Trials - start); rem < n {
+		if rem := totalTrials - (p.Trials - start); rem < n {
 			n = rem
 		}
 		if len(p.SearchRound(n)) == 0 {

@@ -37,8 +37,8 @@ func TestSearchRoundMeasuresAndImproves(t *testing.T) {
 	if len(res) != 16 {
 		t.Fatalf("round measured %d programs, want 16", len(res))
 	}
-	if ms.Trials != 16 {
-		t.Errorf("trials = %d, want 16", ms.Trials)
+	if ms.Trials() != 16 {
+		t.Errorf("trials = %d, want 16", ms.Trials())
 	}
 	first := p.BestTime
 	for i := 0; i < 5; i++ {
@@ -95,8 +95,11 @@ func TestBudgetAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Tune(50, 16)
-	if ms.Trials != 50 {
-		t.Errorf("trials = %d, want exactly 50 (budget must be respected)", ms.Trials)
+	if ms.Trials() != 50 {
+		t.Errorf("trials = %d, want exactly 50 (budget must be respected)", ms.Trials())
+	}
+	if p.Trials != 50 {
+		t.Errorf("policy-local trials = %d, want 50", p.Trials)
 	}
 }
 

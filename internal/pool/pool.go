@@ -1,0 +1,162 @@
+// Package pool is the shared worker-pool execution layer of the tuning
+// pipeline. Every parallel stage — batch measurement, population scoring,
+// offspring generation, cost-model training scans, independent scheduler
+// rounds — funnels through Pool.Map, which executes an index space across
+// a bounded set of goroutines.
+//
+// Concurrency is bounded process-wide, not per call: the calling
+// goroutine always works through indices itself, and *extra* workers are
+// borrowed from a shared budget of GOMAXPROCS-1 tokens. Nested Map calls
+// (a scheduler wave whose task rounds each measure batches in parallel)
+// therefore degrade gracefully to serial execution instead of
+// multiplying goroutines — and can never deadlock, because borrowing is
+// non-blocking and the caller always makes progress. A pool constructed
+// with an explicit worker count bypasses the budget: the caller asked
+// for exactly that concurrency (tests use this to force real goroutines
+// on small machines), and explicit counts may multiply when nested.
+//
+// The determinism contract of DESIGN.md rests on two properties enforced
+// here and by the callers:
+//
+//   - Order-stable results: Map guarantees fn runs exactly once per index;
+//     callers write results to index-stable slots, so output never depends
+//     on scheduling order — nor on how many workers actually ran.
+//   - No shared randomness: callers must not consume a shared RNG stream
+//     inside fn. Stages that need randomness derive a private RNG per
+//     index (see evo.attemptSeed), so results are bit-identical for any
+//     worker count, including 1.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// extraTokens is the process-wide budget of additional worker goroutines
+// available to auto-sized (Workers <= 0) pools.
+var extraTokens atomic.Int64
+
+func init() {
+	extraTokens.Store(int64(runtime.GOMAXPROCS(0) - 1))
+}
+
+// acquireExtra takes up to k tokens from the shared budget, returning how
+// many were granted (possibly 0). It never blocks.
+func acquireExtra(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	for {
+		avail := extraTokens.Load()
+		if avail <= 0 {
+			return 0
+		}
+		take := int64(k)
+		if take > avail {
+			take = avail
+		}
+		if extraTokens.CompareAndSwap(avail, avail-take) {
+			return int(take)
+		}
+	}
+}
+
+func releaseExtra(k int) {
+	if k > 0 {
+		extraTokens.Add(int64(k))
+	}
+}
+
+// Pool bounds the concurrency of Map calls. The zero value and nil are
+// both usable and resolve to GOMAXPROCS workers drawn from the shared
+// budget.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers goroutines per Map call
+// (the caller included); workers <= 0 selects GOMAXPROCS, bounded
+// process-wide by the shared budget.
+func New(workers int) *Pool { return &Pool{workers: workers} }
+
+// Workers resolves the configured worker count: n <= 0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the resolved worker count of the pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return Workers(0)
+	}
+	return Workers(p.workers)
+}
+
+// Map runs fn(i) for every i in [0, n) and returns once all calls have
+// completed. The calling goroutine participates; up to Workers()-1 extra
+// goroutines join it (auto-sized pools borrow them from the shared
+// budget). Indices are handed out dynamically, so uneven per-index costs
+// balance across workers. A panic in any fn aborts the unstarted indices
+// and is re-raised in the caller once the running workers drain.
+func (p *Pool) Map(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	extra := w - 1
+	borrowed := 0
+	if p == nil || p.workers <= 0 {
+		borrowed = acquireExtra(extra)
+		extra = borrowed
+	}
+	if extra <= 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	defer releaseExtra(borrowed)
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		firstOnce sync.Once
+		firstPan  any
+	)
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						firstOnce.Do(func() { firstPan = r })
+						// Abort the remaining indices so the batch ends.
+						next.Add(int64(n))
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	wg.Add(extra)
+	for k := 0; k < extra; k++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	if firstPan != nil {
+		panic(firstPan)
+	}
+}

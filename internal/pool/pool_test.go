@@ -1,0 +1,114 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		p := New(workers)
+		const n = 1000
+		var hits [n]atomic.Int64
+		p.Map(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapOrderStableResults(t *testing.T) {
+	const n = 257
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 16} {
+		out := make([]int, n)
+		New(workers).Map(n, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	ran := false
+	New(4).Map(0, func(int) { ran = true })
+	New(4).Map(-3, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for empty index space")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+	if got := (*Pool)(nil).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("nil pool workers = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestNestedAutoMapsComplete(t *testing.T) {
+	// Auto-sized pools nest without deadlock or index loss: inner Maps
+	// fall back to the calling goroutine when the shared budget is
+	// drained.
+	const outer, inner = 8, 50
+	var hits [outer][inner]atomic.Int64
+	New(0).Map(outer, func(i int) {
+		New(0).Map(inner, func(j int) { hits[i][j].Add(1) })
+	})
+	for i := range hits {
+		for j := range hits[i] {
+			if got := hits[i][j].Load(); got != 1 {
+				t.Fatalf("index (%d,%d) ran %d times, want 1", i, j, got)
+			}
+		}
+	}
+}
+
+func TestExplicitWorkersBypassBudget(t *testing.T) {
+	// A pool with an explicit count must run genuinely concurrently even
+	// when GOMAXPROCS is 1 and the shared budget is empty: two bodies
+	// that rendezvous with each other can only finish if both run at
+	// once.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	done := make(chan struct{})
+	go func() {
+		New(2).Map(2, func(int) {
+			barrier.Done()
+			barrier.Wait()
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("explicit 2-worker Map did not run its bodies concurrently")
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	New(4).Map(100, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}

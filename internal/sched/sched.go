@@ -7,9 +7,15 @@ package sched
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/pool"
 )
 
 // Tuner is one tuning task as the scheduler sees it.
+//
+// Distinct Tuners must tolerate concurrent AllocateUnit calls: the
+// scheduler runs independent rounds (warm-up and round-robin waves) in
+// parallel. A single Tuner is never allocated twice within one wave.
 type Tuner interface {
 	// Name identifies the task.
 	Name() string
@@ -178,6 +184,13 @@ type Options struct {
 	// RoundRobin disables the gradient scheduling ("No task scheduler"
 	// ablation, Fig. 10): equal time to all tasks.
 	RoundRobin bool
+	// Workers bounds how many independent task rounds run concurrently
+	// (0 = GOMAXPROCS). Only rounds whose picks are predetermined — the
+	// warm-up pass and round-robin cycles — parallelize; gradient-descent
+	// picks depend on every previous result and stay sequential, per the
+	// allocation order of §6. Allocation order, histories and cost curves
+	// are bit-identical for any value.
+	Workers int
 }
 
 // DefaultOptions matches the paper's setup.
@@ -191,7 +204,8 @@ type Scheduler struct {
 	Objective Objective
 	Opts      Options
 
-	rng *rand.Rand
+	rng  *rand.Rand
+	pool *pool.Pool
 	// history[i] is g_i after each unit allocated to task i.
 	history [][]float64
 	// sinceImprove[i] counts allocations without improvement.
@@ -211,6 +225,7 @@ func New(tasks []Tuner, obj Objective, opts Options) *Scheduler {
 		Objective:    obj,
 		Opts:         opts,
 		rng:          rand.New(rand.NewSource(opts.Seed)),
+		pool:         pool.New(opts.Workers),
 		history:      make([][]float64, len(tasks)),
 		sinceImprove: make([]int, len(tasks)),
 	}
@@ -230,29 +245,86 @@ func (s *Scheduler) latencies() []float64 {
 	return g
 }
 
-// allocate spends one unit on task i and updates history.
-func (s *Scheduler) allocate(i int) {
-	prev := s.Tasks[i].BestLatency()
-	s.Tasks[i].AllocateUnit()
-	now := s.Tasks[i].BestLatency()
-	s.history[i] = append(s.history[i], now)
-	if now < prev {
-		s.sinceImprove[i] = 0
-	} else {
-		s.sinceImprove[i]++
+// runWave spends one unit on every task in wave, concurrently across the
+// pool. Tasks within a wave are distinct and independent (a task's round
+// reads only its own policy state), so the per-task outcomes equal a
+// serial execution; bookkeeping then replays the wave in pick order,
+// which keeps histories and the cost curve bit-identical to serial
+// allocation for any worker count.
+func (s *Scheduler) runWave(wave []int) {
+	prev := make([]float64, len(wave))
+	for k, i := range wave {
+		prev[k] = s.Tasks[i].BestLatency()
 	}
-	s.Units++
-	s.CostCurve = append(s.CostCurve, s.Objective.Cost(s.latencies()))
+	s.pool.Map(len(wave), func(k int) { s.Tasks[wave[k]].AllocateUnit() })
+	// g starts from the pre-wave latencies and advances task by task in
+	// allocation order, exactly as a serial loop would observe them.
+	g := s.latencies()
+	for k, i := range wave {
+		g[i] = prev[k]
+	}
+	for k, i := range wave {
+		now := s.Tasks[i].BestLatency()
+		s.history[i] = append(s.history[i], now)
+		if now < prev[k] {
+			s.sinceImprove[i] = 0
+		} else {
+			s.sinceImprove[i]++
+		}
+		s.Units++
+		g[i] = now
+		s.CostCurve = append(s.CostCurve, s.Objective.Cost(g))
+	}
+}
+
+// nextWave returns the next allocation picks whose choices do not depend
+// on each other's results: the remaining warm-up tasks, one round-robin
+// cycle, or a single gradient-descent pick. The wave never depends on the
+// worker count, only on scheduler state.
+func (s *Scheduler) nextWave(budget int) []int {
+	var wave []int
+	if s.warmed < len(s.Tasks) {
+		for i := s.warmed; i < len(s.Tasks) && len(wave) < budget; i++ {
+			wave = append(wave, i)
+		}
+		s.warmed += len(wave)
+		return wave
+	}
+	if s.Opts.RoundRobin {
+		n := len(s.Tasks)
+		k := n
+		if k > budget {
+			k = budget
+		}
+		for j := 0; j < k; j++ {
+			wave = append(wave, (s.Units+j)%n)
+		}
+		return wave
+	}
+	return []int{s.pick()}
+}
+
+// Step runs exactly one wave (bounded by the remaining budget) and
+// returns the units it spent; 0 once the budget is exhausted. Callers
+// sampling tuning curves step wave by wave, so independent rounds still
+// parallelize between observation points.
+func (s *Scheduler) Step(totalUnits int) int {
+	if s.Units >= totalUnits {
+		return 0
+	}
+	wave := s.nextWave(totalUnits - s.Units)
+	if len(wave) == 0 {
+		return 0
+	}
+	s.runWave(wave)
+	return len(wave)
 }
 
 // Run performs the warm-up round-robin then gradient-descent allocation
-// until totalUnits have been spent (§6.2).
+// until totalUnits have been spent (§6.2). Independent rounds within a
+// wave run concurrently across Opts.Workers goroutines.
 func (s *Scheduler) Run(totalUnits int) {
-	for ; s.warmed < len(s.Tasks) && s.Units < totalUnits; s.warmed++ {
-		s.allocate(s.warmed)
-	}
-	for s.Units < totalUnits {
-		s.allocate(s.pick())
+	for s.Step(totalUnits) > 0 {
 	}
 }
 

@@ -183,6 +183,43 @@ func TestConvergenceDetection(t *testing.T) {
 	}
 }
 
+// TestRunDeterministicAcrossWorkers checks the scheduler's side of the
+// determinism contract: allocation order, per-task units and the cost
+// curve are identical for any Workers value, in both gradient and
+// round-robin mode (where whole cycles run concurrently).
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	for _, rr := range []bool{false, true} {
+		run := func(workers int) ([]float64, []int) {
+			tuners, dnns, ts := twoDNNSetup()
+			opts := DefaultOptions()
+			opts.RoundRobin = rr
+			opts.Workers = workers
+			s := New(tuners, F1{dnns}, opts)
+			s.Run(30)
+			units := make([]int, len(ts))
+			for i, f := range ts {
+				units[i] = f.t
+			}
+			return s.CostCurve, units
+		}
+		curve1, units1 := run(1)
+		curve8, units8 := run(8)
+		for i := range units1 {
+			if units1[i] != units8[i] {
+				t.Errorf("rr=%v: task %d units diverged: %d vs %d", rr, i, units1[i], units8[i])
+			}
+		}
+		if len(curve1) != len(curve8) {
+			t.Fatalf("rr=%v: cost curve length diverged: %d vs %d", rr, len(curve1), len(curve8))
+		}
+		for i := range curve1 {
+			if curve1[i] != curve8[i] {
+				t.Errorf("rr=%v: cost curve diverged at %d: %g vs %g", rr, i, curve1[i], curve8[i])
+			}
+		}
+	}
+}
+
 func TestCostCurveMonotoneForF1(t *testing.T) {
 	tuners, dnns, _ := twoDNNSetup()
 	s := New(tuners, F1{dnns}, DefaultOptions())

@@ -7,12 +7,21 @@
 // where S(P) are the innermost statements of program P and y is the
 // throughput of P normalized to [0,1] within its DAG. The model predicts a
 // score per statement; a program's score is the sum.
+//
+// The model is safe for concurrent prediction while a training round is
+// in flight: Fit builds the new ensemble aside and swaps it in atomically,
+// and Score/ScoreStmt/Trained read a snapshot. Split finding shards the
+// per-feature scan across a worker pool with a deterministic reduction,
+// so trained models are bit-identical for any worker count.
 package xgb
 
 import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+
+	"repro/internal/pool"
 )
 
 // Opts configures training.
@@ -23,6 +32,9 @@ type Opts struct {
 	LearningRate     float64
 	FeatureSubsample float64
 	Seed             int64
+	// Workers bounds the goroutines used by the split-finding scan
+	// (0 = GOMAXPROCS). Trained models are identical for any value.
+	Workers int
 }
 
 // DefaultOpts returns the options used throughout the evaluation.
@@ -65,9 +77,9 @@ func (t *tree) predict(x []float64) float64 {
 
 // fitTree greedily builds one weighted least-squares regression tree over
 // the rows indexed by idx.
-func fitTree(x [][]float64, target, w []float64, idx []int, o Opts, rng *rand.Rand) *tree {
+func fitTree(x [][]float64, target, w []float64, idx []int, o Opts, rng *rand.Rand, pl *pool.Pool) *tree {
 	t := &tree{}
-	t.build(x, target, w, idx, 0, o, rng)
+	t.build(x, target, w, idx, 0, o, rng, pl)
 	return t
 }
 
@@ -83,7 +95,20 @@ func weightedMean(target, w []float64, idx []int) float64 {
 	return swy / sw
 }
 
-func (t *tree) build(x [][]float64, target, w []float64, idx []int, depth int, o Opts, rng *rand.Rand) int {
+// parallelScanMin is the node size below which the per-feature split scan
+// stays serial: tiny nodes would pay more in goroutine handoff than the
+// scan costs. The threshold depends only on the data, never on the worker
+// count, so trees are identical either way.
+const parallelScanMin = 512
+
+// split is one feature's best split candidate.
+type split struct {
+	gain float64
+	thr  float64
+	ok   bool
+}
+
+func (t *tree) build(x [][]float64, target, w []float64, idx []int, depth int, o Opts, rng *rand.Rand, pl *pool.Pool) int {
 	self := len(t.nodes)
 	t.nodes = append(t.nodes, node{})
 	if depth >= o.MaxDepth || len(idx) < 2*o.MinSamples {
@@ -91,8 +116,6 @@ func (t *tree) build(x [][]float64, target, w []float64, idx []int, depth int, o
 		return self
 	}
 	nf := len(x[0])
-	bestGain := 0.0
-	bestF, bestThr := -1, 0.0
 	// Parent weighted SSE baseline terms.
 	var sw, swy, swyy float64
 	for _, i := range idx {
@@ -105,14 +128,22 @@ func (t *tree) build(x [][]float64, target, w []float64, idx []int, depth int, o
 		return self
 	}
 	parentSSE := swyy - swy*swy/sw
-	order := make([]int, len(idx))
+	// The subsample mask is drawn serially so the RNG stream is identical
+	// to a fully serial scan; the scan itself is embarrassingly parallel
+	// per feature.
+	mask := make([]bool, nf)
 	for f := 0; f < nf; f++ {
-		if o.FeatureSubsample < 1 && rng.Float64() > o.FeatureSubsample {
-			continue
+		mask[f] = !(o.FeatureSubsample < 1 && rng.Float64() > o.FeatureSubsample)
+	}
+	splits := make([]split, nf)
+	scan := func(f int, order []int) {
+		if !mask[f] {
+			return
 		}
 		copy(order, idx)
 		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
 		var lw, lwy, lwyy float64
+		best := split{}
 		for k := 0; k < len(order)-1; k++ {
 			i := order[k]
 			lw += w[i]
@@ -133,11 +164,34 @@ func (t *tree) build(x [][]float64, target, w []float64, idx []int, depth int, o
 			rwyy := swyy - lwyy
 			rsse := rwyy - rwy*rwy/rw
 			gain := parentSSE - lsse - rsse
-			if gain > bestGain {
-				bestGain = gain
-				bestF = f
-				bestThr = (x[order[k]][f] + x[order[k+1]][f]) / 2
+			if gain > best.gain {
+				best = split{gain: gain, thr: (x[order[k]][f] + x[order[k+1]][f]) / 2, ok: true}
 			}
+		}
+		splits[f] = best
+	}
+	if len(idx) >= parallelScanMin {
+		pl.Map(nf, func(f int) {
+			if mask[f] {
+				scan(f, make([]int, len(idx)))
+			}
+		})
+	} else {
+		// Serial small-node path: one sort buffer serves every feature.
+		order := make([]int, len(idx))
+		for f := 0; f < nf; f++ {
+			scan(f, order)
+		}
+	}
+	// Deterministic reduction: strictly-greater gain in ascending feature
+	// order reproduces the serial scan's lowest-feature tie-breaking.
+	bestGain := 0.0
+	bestF, bestThr := -1, 0.0
+	for f := 0; f < nf; f++ {
+		if splits[f].ok && splits[f].gain > bestGain {
+			bestGain = splits[f].gain
+			bestF = f
+			bestThr = splits[f].thr
 		}
 	}
 	if bestF < 0 {
@@ -152,31 +206,46 @@ func (t *tree) build(x [][]float64, target, w []float64, idx []int, depth int, o
 			ri = append(ri, i)
 		}
 	}
-	l := t.build(x, target, w, li, depth+1, o, rng)
-	r := t.build(x, target, w, ri, depth+1, o, rng)
+	l := t.build(x, target, w, li, depth+1, o, rng, pl)
+	r := t.build(x, target, w, ri, depth+1, o, rng, pl)
 	t.nodes[self] = node{feature: bestF, threshold: bestThr, left: l, right: r}
 	return self
 }
 
 // CostModel is the per-statement GBDT ensemble with the sum-over-
-// statements program score.
+// statements program score. Prediction is safe for concurrent use, and
+// may overlap a Fit call: readers see either the previous or the new
+// ensemble, never a partial one.
 type CostModel struct {
-	Opts  Opts
+	Opts Opts
+
+	mu    sync.RWMutex
 	trees []*tree
 }
 
 // NewCostModel returns an untrained cost model (scores 0 for everything).
 func NewCostModel(o Opts) *CostModel { return &CostModel{Opts: o} }
 
+// snapshot returns the current ensemble for lock-free prediction.
+func (c *CostModel) snapshot() []*tree {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.trees
+}
+
 // Trained reports whether Fit has been called with data.
-func (c *CostModel) Trained() bool { return len(c.trees) > 0 }
+func (c *CostModel) Trained() bool { return len(c.snapshot()) > 0 }
 
 // Fit trains the model from scratch on programs (per-statement feature
 // lists) and their normalized throughputs y ∈ [0, 1]. The loss weight of
-// each program is its throughput, emphasizing fast programs (§5.2).
+// each program is its throughput, emphasizing fast programs (§5.2). The
+// new ensemble is built aside and swapped in atomically, so concurrent
+// Score calls keep working against the previous ensemble.
 func (c *CostModel) Fit(progs [][][]float64, y []float64) {
-	c.trees = nil
 	if len(progs) == 0 {
+		c.mu.Lock()
+		c.trees = nil
+		c.mu.Unlock()
 		return
 	}
 	var rows [][]float64
@@ -190,8 +259,12 @@ func (c *CostModel) Fit(progs [][][]float64, y []float64) {
 		}
 	}
 	if len(rows) == 0 {
+		c.mu.Lock()
+		c.trees = nil
+		c.mu.Unlock()
 		return
 	}
+	pl := pool.New(c.Opts.Workers)
 	pred := make([]float64, len(rows))
 	target := make([]float64, len(rows))
 	weight := make([]float64, len(rows))
@@ -201,6 +274,7 @@ func (c *CostModel) Fit(progs [][][]float64, y []float64) {
 	}
 	rng := rand.New(rand.NewSource(c.Opts.Seed))
 	const minWeight = 0.05
+	var trees []*tree
 	for round := 0; round < c.Opts.NumTrees; round++ {
 		progPred := make([]float64, len(progs))
 		for i, p := range rowProg {
@@ -211,20 +285,24 @@ func (c *CostModel) Fit(progs [][][]float64, y []float64) {
 			target[i] = r / nStmts[p]
 			weight[i] = math.Max(y[p], minWeight)
 		}
-		t := fitTree(rows, target, weight, idx, c.Opts, rng)
+		t := fitTree(rows, target, weight, idx, c.Opts, rng, pl)
 		for i := range rows {
 			pred[i] += c.Opts.LearningRate * t.predict(rows[i])
 		}
-		c.trees = append(c.trees, t)
+		trees = append(trees, t)
 	}
+	c.mu.Lock()
+	c.trees = trees
+	c.mu.Unlock()
 }
 
 // Score returns the model's predicted fitness (higher = faster) for a
 // program given its per-statement features.
 func (c *CostModel) Score(stmts [][]float64) float64 {
+	trees := c.snapshot()
 	var s float64
 	for _, st := range stmts {
-		for _, t := range c.trees {
+		for _, t := range trees {
 			s += c.Opts.LearningRate * t.predict(st)
 		}
 	}
@@ -235,7 +313,7 @@ func (c *CostModel) Score(stmts [][]float64) float64 {
 // to pick the better parent per node, §5.1).
 func (c *CostModel) ScoreStmt(stmt []float64) float64 {
 	var s float64
-	for _, t := range c.trees {
+	for _, t := range c.snapshot() {
 		s += c.Opts.LearningRate * t.predict(stmt)
 	}
 	return s
