@@ -19,10 +19,12 @@ package ansor
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"repro/internal/ir"
 	"repro/internal/measure"
 	"repro/internal/policy"
+	"repro/internal/registry"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/sketch"
@@ -110,6 +112,34 @@ type TuningOptions struct {
 	Workers int
 	// CustomRules are user-defined sketch derivation rules (§4.1).
 	CustomRules []sketch.Rule
+
+	// RecordTo appends every fresh successful measurement as one JSON
+	// record per line to this file (created if missing), building the
+	// durable tuning log that ResumeFrom, WarmStartFrom and
+	// ApplyHistoryBest consume. Recording is passive: it never changes
+	// search results. Call Close on the tuner (TuneNetwork closes
+	// internally) to release the file and surface write errors.
+	RecordTo string
+	// ResumeFrom replays a tuning log written by RecordTo: the search
+	// re-runs deterministically from round one, but every program whose
+	// record is in the log is served from it instead of re-measured, so
+	// the replayed prefix costs zero fresh trials. With the original
+	// seed, options and workload, the resumed run is bit-identical to an
+	// uninterrupted one at any Workers value (DESIGN.md, "Persistence
+	// layer"). Typically set together with RecordTo pointing at the same
+	// file so the continuation keeps appending.
+	ResumeFrom string
+	// WarmStartFrom replays a log's records for this task into the cost
+	// model's training data and the best-k pool before the first round —
+	// the search starts informed instead of blind. Unlike ResumeFrom
+	// this deliberately changes the trajectory (a better model from
+	// round one) and costs no trials for the replayed programs.
+	WarmStartFrom string
+	// ApplyHistoryBest skips searching entirely: the best recorded
+	// schedule for (workload, target) in this log/registry file is
+	// replayed with zero measurement trials. Tune returns an error if
+	// the file has no entry for the task.
+	ApplyHistoryBest string
 }
 
 func (o *TuningOptions) defaults() {
@@ -148,6 +178,20 @@ type Tuner struct {
 	opts     TuningOptions
 	pol      *policy.Policy
 	measurer *measure.Measurer
+	logFile  *os.File
+}
+
+// attachPersistence wires a measurer to the options' record/resume
+// files. It returns the open log sink (nil when not recording); the
+// caller owns closing it.
+func attachPersistence(ms *measure.Measurer, opts TuningOptions) (*os.File, error) {
+	rec, cache, f, err := measure.OpenPersistence(opts.RecordTo, opts.ResumeFrom)
+	if err != nil {
+		return nil, fmt.Errorf("ansor: %w", err)
+	}
+	ms.Recorder = rec
+	ms.Cache = cache
+	return f, nil
 }
 
 // NewTuner builds a tuner; it constructs the task's search space (sketch
@@ -156,6 +200,10 @@ func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 	opts.defaults()
 	ms := measure.New(task.Target.Machine, opts.NoiseStd, opts.Seed)
 	ms.Workers = opts.Workers
+	f, err := attachPersistence(ms, opts)
+	if err != nil {
+		return nil, err
+	}
 	popts := policy.DefaultOptions()
 	popts.Seed = opts.Seed
 	popts.Workers = opts.Workers
@@ -163,19 +211,77 @@ func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 		Name: task.Name, DAG: task.DAG, Target: task.Target.Space, Weight: task.Weight,
 	}, popts, ms, opts.CustomRules...)
 	if err != nil {
+		if f != nil {
+			f.Close()
+		}
 		return nil, fmt.Errorf("ansor: %w", err)
 	}
-	return &Tuner{task: task, opts: opts, pol: pol, measurer: ms}, nil
+	if opts.WarmStartFrom != "" {
+		log, err := measure.LoadFile(opts.WarmStartFrom)
+		if err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return nil, fmt.Errorf("ansor: warm start from %s: %w", opts.WarmStartFrom, err)
+		}
+		if _, err := pol.WarmStart(log.Records); err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return nil, fmt.Errorf("ansor: warm start from %s: %w", opts.WarmStartFrom, err)
+		}
+	}
+	return &Tuner{task: task, opts: opts, pol: pol, measurer: ms, logFile: f}, nil
+}
+
+// Close flushes and closes the tuning log (if RecordTo was set) and
+// reports the first write error the recorder hit. Safe to call on a
+// tuner that never recorded.
+func (t *Tuner) Close() error {
+	var err error
+	if t.measurer.Recorder != nil {
+		err = t.measurer.Recorder.Err()
+	}
+	if t.logFile != nil {
+		if cerr := t.logFile.Close(); err == nil {
+			err = cerr
+		}
+		t.logFile = nil
+	}
+	return err
 }
 
 // Sketches returns the generated sketches of the task's search space
 // (incomplete programs with TILE placeholders, §4.1).
 func (t *Tuner) Sketches() []*ir.State { return t.pol.Sketches() }
 
-// Tune runs the full search and returns the best program found.
+// Tune runs the full search and returns the best program found. With
+// ApplyHistoryBest set it does not search at all: the registry's best
+// schedule is replayed with zero measurement trials.
 func (t *Tuner) Tune() (Program, error) {
+	if t.opts.ApplyHistoryBest != "" {
+		return t.ApplyBest()
+	}
 	t.pol.Tune(t.opts.Trials, t.opts.MeasuresPerRound)
 	return t.Best()
+}
+
+// ApplyBest replays the best recorded schedule for this task from the
+// options' ApplyHistoryBest file without spending any measurement.
+func (t *Tuner) ApplyBest() (Program, error) {
+	reg, err := registry.LoadFile(t.opts.ApplyHistoryBest)
+	if err != nil {
+		return Program{}, fmt.Errorf("ansor: apply history best: %w", err)
+	}
+	s, sec, err := reg.ApplyBest(t.task.Name, t.task.Target.Machine.Name, t.task.DAG)
+	if err != nil {
+		return Program{}, fmt.Errorf("ansor: %w", err)
+	}
+	low, err := ir.Lower(s)
+	if err != nil {
+		return Program{}, fmt.Errorf("ansor: apply history best: %w", err)
+	}
+	return Program{State: s, Seconds: sec, GFLOPS: low.TotalFlops() / sec / 1e9}, nil
 }
 
 // Best returns the best program measured so far.
@@ -201,6 +307,12 @@ func (t *Tuner) Trials() int { return t.measurer.Trials() }
 // search round. Equal seeds give identical histories for any Workers
 // value.
 func (t *Tuner) History() []policy.HistoryPoint { return t.pol.History }
+
+// ModelFingerprint hashes the trained cost-model ensemble; equal
+// fingerprints mean bit-identical models. The persistence determinism
+// tests use it to assert a resumed search retrained to exactly the
+// model of an uninterrupted run.
+func (t *Tuner) ModelFingerprint() uint64 { return t.pol.ModelFingerprint() }
 
 // NetworkTask is one weighted subgraph of a network.
 type NetworkTask struct {
@@ -260,11 +372,32 @@ type NetworkResult struct {
 
 // TuneNetwork tunes all subgraphs of a network with the gradient-descent
 // task scheduler (§6), budgeting roughly trialsPerTask measurements per
-// unique subgraph.
+// unique subgraph. The persistence options of TuningOptions apply to the
+// whole network: one shared log records/replays every task, and
+// ApplyHistoryBest serves all task latencies from the registry with zero
+// measurements.
 func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult, error) {
 	opts.defaults()
+	if opts.ApplyHistoryBest != "" {
+		return applyNetworkBest(net, target, opts.ApplyHistoryBest)
+	}
 	ms := measure.New(target.Machine, opts.NoiseStd, opts.Seed)
 	ms.Workers = opts.Workers
+	logFile, err := attachPersistence(ms, opts)
+	if err != nil {
+		return NetworkResult{}, err
+	}
+	defer func() {
+		if logFile != nil {
+			logFile.Close()
+		}
+	}()
+	var warm *measure.Log
+	if opts.WarmStartFrom != "" {
+		if warm, err = measure.LoadFile(opts.WarmStartFrom); err != nil {
+			return NetworkResult{}, fmt.Errorf("ansor: warm start from %s: %w", opts.WarmStartFrom, err)
+		}
+	}
 	var tuners []sched.Tuner
 	var dnn sched.DNN
 	dnn.Name = net.Name
@@ -279,6 +412,11 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 		}, popts, ms)
 		if err != nil {
 			return NetworkResult{}, fmt.Errorf("ansor: task %s: %w", task.Name, err)
+		}
+		if warm != nil {
+			if _, err := p.WarmStart(warm.Records); err != nil {
+				return NetworkResult{}, fmt.Errorf("ansor: warm start task %s: %w", task.Name, err)
+			}
 		}
 		pols = append(pols, p)
 		tuners = append(tuners, &netTuner{
@@ -304,6 +442,55 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 	res.Latency = dnn.Latency(g)
 	if math.IsInf(res.Latency, 1) {
 		return res, fmt.Errorf("ansor: some tasks were never measured; increase Trials")
+	}
+	if ms.Recorder != nil {
+		if err := ms.Recorder.Err(); err != nil {
+			return res, fmt.Errorf("ansor: tuning log: %w", err)
+		}
+	}
+	if logFile != nil {
+		f := logFile
+		logFile = nil
+		if err := f.Close(); err != nil {
+			return res, fmt.Errorf("ansor: tuning log: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// applyNetworkBest serves a whole network's latencies from the registry
+// with zero measurement trials. Every unique subgraph must have a
+// recorded schedule; missing tasks are reported by name so the caller
+// knows what still needs tuning.
+func applyNetworkBest(net Network, target Target, path string) (NetworkResult, error) {
+	reg, err := registry.LoadFile(path)
+	if err != nil {
+		return NetworkResult{}, fmt.Errorf("ansor: apply history best: %w", err)
+	}
+	res := NetworkResult{TaskLatencies: map[string]float64{}}
+	var missing []string
+	for _, task := range net.Tasks {
+		dag := task.Build()
+		// BestFor keys on the task's exact computation fingerprint, so a
+		// record tuned for another shape (e.g. a different batch size
+		// under the same task name) is never served.
+		rec, ok := reg.BestFor(task.Name, target.Machine.Name, dag)
+		if !ok {
+			missing = append(missing, task.Name)
+			continue
+		}
+		// Replay validates that the recorded steps still build on the
+		// task's DAG; a registry from a stale workload definition fails
+		// loudly instead of serving unbuildable schedules.
+		if _, err := rec.Replay(dag); err != nil {
+			return NetworkResult{}, fmt.Errorf("ansor: apply history best: task %s: %w", task.Name, err)
+		}
+		res.TaskLatencies[task.Name] = rec.Seconds
+		res.Latency += float64(task.Weight) * rec.Seconds
+	}
+	if len(missing) > 0 {
+		return NetworkResult{}, fmt.Errorf("ansor: apply history best: no recorded schedule for %d task(s) on %s: %v",
+			len(missing), target.Machine.Name, missing)
 	}
 	return res, nil
 }

@@ -7,6 +7,9 @@
 //	ansor-bench -exp fig6 -batch 16 -trials 1000   # paper scale
 //	ansor-bench -exp fig9 -platform arm
 //	ansor-bench -exp all -trials 64                # quick pass
+//	ansor-bench -exp fig6 -log bench.json          # record all measurements
+//	ansor-bench -exp fig6 -resume bench.json       # replay logged work for free
+//	ansor-bench -apply-best bench.json             # inspect the registry and exit
 package main
 
 import (
@@ -15,20 +18,43 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/measure"
+	"repro/internal/registry"
 )
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: fig3, fig6, fig7, fig8, fig9, fig10, all")
-		trials   = flag.Int("trials", 0, "trials per case (0 = default reduced scale; paper uses 1000)")
-		perRound = flag.Int("per-round", 0, "measurements per round (0 = default)")
-		batch    = flag.Int("batch", 1, "batch size for fig6/fig8/fig10")
-		platform = flag.String("platform", "", "fig9 platform filter: intel, gpu, arm (empty = all)")
-		runs     = flag.Int("runs", 3, "fig7 median-of-N runs")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
+		which     = flag.String("exp", "all", "experiment: fig3, fig6, fig7, fig8, fig9, fig10, all")
+		trials    = flag.Int("trials", 0, "trials per case (0 = default reduced scale; paper uses 1000)")
+		perRound  = flag.Int("per-round", 0, "measurements per round (0 = default)")
+		batch     = flag.Int("batch", 1, "batch size for fig6/fig8/fig10")
+		platform  = flag.String("platform", "", "fig9 platform filter: intel, gpu, arm (empty = all)")
+		runs      = flag.Int("runs", 3, "fig7 median-of-N runs")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
+		logTo     = flag.String("log", "", "append every fresh measurement to this tuning log (one JSON record per line)")
+		resume    = flag.String("resume", "", "serve measurements recorded in this log instead of re-measuring (implies -log to the same file unless -log is set)")
+		applyBest = flag.String("apply-best", "", "print the best recorded schedule per (workload, target) in this log and exit")
 	)
 	flag.Parse()
+
+	if *applyBest != "" {
+		reg, err := registry.LoadFile(*applyBest)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ansor-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-32s %-20s %-10s %12s\n", "workload", "target", "shape", "seconds")
+		for _, k := range reg.Keys() {
+			rec, _ := reg.Lookup(k)
+			shape := k.DAG
+			if len(shape) > 8 {
+				shape = shape[:8]
+			}
+			fmt.Printf("%-32s %-20s %-10s %12.6g\n", k.Workload, k.Target, shape, rec.Seconds)
+		}
+		return
+	}
 
 	cfg := exp.DefaultConfig()
 	cfg.Out = os.Stdout
@@ -39,6 +65,36 @@ func main() {
 	}
 	if *perRound > 0 {
 		cfg.PerRound = *perRound
+	}
+	if *resume != "" && *logTo == "" {
+		*logTo = *resume
+	}
+	recorder, cache, logFile, err := measure.OpenPersistence(*logTo, *resume)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ansor-bench: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.Recorder = recorder
+	cfg.Cache = cache
+	// closeLog flushes the tuning log and reports whether it is intact;
+	// a log with dropped records must fail the process, or scripts would
+	// resume from a silently truncated file.
+	closeLog := func() bool {
+		ok := true
+		if recorder != nil {
+			if err := recorder.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "ansor-bench: tuning log: %v\n", err)
+				ok = false
+			}
+		}
+		if logFile != nil {
+			if err := logFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ansor-bench: tuning log: %v\n", err)
+				ok = false
+			}
+			logFile = nil
+		}
+		return ok
 	}
 
 	run := func(name string) {
@@ -75,8 +131,12 @@ func main() {
 			exp.Fig10(cfg, *batch, 2)
 		default:
 			fmt.Fprintf(os.Stderr, "ansor-bench: unknown experiment %q\n", name)
+			closeLog()
 			os.Exit(2)
 		}
 	}
 	run(*which)
+	if !closeLog() {
+		os.Exit(1)
+	}
 }

@@ -6,12 +6,16 @@
 //	ansor-tune -workload GMM.s1 -trials 1000
 //	ansor-tune -workload ConvLayer.s2 -target gpu -trials 500
 //	ansor-tune -network mobilenet-v2 -batch 16 -trials 200
+//	ansor-tune -workload GMM.s1 -log tune.json          # record the tuning log
+//	ansor-tune -workload GMM.s1 -resume tune.json       # continue a killed run
+//	ansor-tune -workload GMM.s1 -apply-best tune.json   # serve the best schedule, zero trials
 //	ansor-tune -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -20,31 +24,48 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "ansor-tune: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI; main only maps its error to an exit code, so
+// tests drive the binary in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ansor-tune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "", "single op or subgraph key, e.g. GMM.s1, ConvLayer.s0")
-		network  = flag.String("network", "", "network name: resnet-50, mobilenet-v2, 3d-resnet-18, dcgan, bert")
-		batch    = flag.Int("batch", 1, "batch size")
-		target   = flag.String("target", "intel", "target: intel, intel-avx512, arm, gpu")
-		trials   = flag.Int("trials", 1000, "measurement trials (per task for networks)")
-		perRound = flag.Int("per-round", 64, "measurements per search round")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
-		list     = flag.Bool("list", false, "list available workloads and exit")
+		workload  = fs.String("workload", "", "single op or subgraph key, e.g. GMM.s1, ConvLayer.s0")
+		network   = fs.String("network", "", "network name: resnet-50, mobilenet-v2, 3d-resnet-18, dcgan, bert")
+		batch     = fs.Int("batch", 1, "batch size")
+		target    = fs.String("target", "intel", "target: intel, intel-avx512, arm, gpu")
+		trials    = fs.Int("trials", 1000, "measurement trials (per task for networks)")
+		perRound  = fs.Int("per-round", 64, "measurements per search round")
+		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
+		logTo     = fs.String("log", "", "append measurement records to this tuning log (one JSON record per line)")
+		resume    = fs.String("resume", "", "resume from this tuning log: logged programs replay without re-measuring; with the same seed/options the run is bit-identical to an uninterrupted one (implies -log to the same file unless -log is set)")
+		warmStart = fs.String("warm-start", "", "seed the cost model and best pool from this log's records before the first round")
+		applyBest = fs.String("apply-best", "", "skip searching: replay the best recorded schedule for the workload/network from this log with zero trials")
+		list      = fs.Bool("list", false, "list available workloads and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Println("single operators and subgraphs (use with -workload):")
+		fmt.Fprintln(stdout, "single operators and subgraphs (use with -workload):")
 		var keys []string
 		for _, w := range append(workloads.SingleOps(*batch), workloads.Subgraphs(*batch)...) {
 			keys = append(keys, w.Key)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Println("  ", k)
+			fmt.Fprintln(stdout, "  ", k)
 		}
-		fmt.Println("networks (use with -network): resnet-50 mobilenet-v2 3d-resnet-18 dcgan bert")
-		return
+		fmt.Fprintln(stdout, "networks (use with -network): resnet-50 mobilenet-v2 3d-resnet-18 dcgan bert")
+		return nil
 	}
 
 	var tgt ansor.Target
@@ -58,30 +79,43 @@ func main() {
 	case "gpu":
 		tgt = ansor.TargetNVIDIAGPU()
 	default:
-		fatalf("unknown target %q", *target)
+		return fmt.Errorf("unknown target %q", *target)
 	}
-	opts := ansor.TuningOptions{Trials: *trials, MeasuresPerRound: *perRound, Seed: *seed, Workers: *workers}
+	if *resume != "" && *logTo == "" {
+		// A resumed run keeps extending the same durable log, so the
+		// next resume picks up where this one stops.
+		*logTo = *resume
+	}
+	opts := ansor.TuningOptions{
+		Trials: *trials, MeasuresPerRound: *perRound, Seed: *seed, Workers: *workers,
+		RecordTo: *logTo, ResumeFrom: *resume,
+		WarmStartFrom: *warmStart, ApplyHistoryBest: *applyBest,
+	}
 
 	switch {
 	case *network != "":
 		net, err := ansor.BuiltinNetwork(*network, *batch)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Printf("tuning %s (batch %d) on %s: %d tasks, ~%d trials/task\n",
-			net.Name, *batch, tgt.Name, len(net.Tasks), *trials)
+		if *applyBest != "" {
+			fmt.Fprintf(stdout, "serving %s (batch %d) on %s from %s\n", net.Name, *batch, tgt.Name, *applyBest)
+		} else {
+			fmt.Fprintf(stdout, "tuning %s (batch %d) on %s: %d tasks, ~%d trials/task\n",
+				net.Name, *batch, tgt.Name, len(net.Tasks), *trials)
+		}
 		res, err := ansor.TuneNetwork(net, tgt, opts)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Printf("end-to-end latency: %.6g s (%d trials)\n", res.Latency, res.Trials)
+		fmt.Fprintf(stdout, "end-to-end latency: %.6g s (%d trials)\n", res.Latency, res.Trials)
 		var names []string
 		for n := range res.TaskLatencies {
 			names = append(names, n)
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Printf("  %-40s %.6g s\n", n, res.TaskLatencies[n])
+			fmt.Fprintf(stdout, "  %-40s %.6g s\n", n, res.TaskLatencies[n])
 		}
 	case *workload != "":
 		all := append(workloads.SingleOps(*batch), workloads.Subgraphs(*batch)...)
@@ -92,26 +126,31 @@ func main() {
 			}
 		}
 		if dag == nil {
-			fatalf("unknown workload %q (try -list)", *workload)
+			return fmt.Errorf("unknown workload %q (try -list)", *workload)
 		}
 		tuner, err := ansor.NewTuner(ansor.NewTask(*workload, dag, tgt), opts)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Printf("tuning %s (batch %d) on %s, %d sketches, %d trials\n",
-			*workload, *batch, tgt.Name, len(tuner.Sketches()), *trials)
+		if *applyBest != "" {
+			fmt.Fprintf(stdout, "serving %s (batch %d) on %s from %s\n", *workload, *batch, tgt.Name, *applyBest)
+		} else {
+			fmt.Fprintf(stdout, "tuning %s (batch %d) on %s, %d sketches, %d trials\n",
+				*workload, *batch, tgt.Name, len(tuner.Sketches()), *trials)
+		}
 		best, err := tuner.Tune()
 		if err != nil {
-			fatalf("%v", err)
+			tuner.Close()
+			return err
 		}
-		fmt.Printf("best: %.6g s, %.1f GFLOP/s\n\n%s", best.Seconds, best.GFLOPS, best.Print())
+		fmt.Fprintf(stdout, "best: %.6g s, %.1f GFLOP/s (%d fresh trials)\n\n%s",
+			best.Seconds, best.GFLOPS, tuner.Trials(), best.Print())
+		if err := tuner.Close(); err != nil {
+			return fmt.Errorf("tuning log: %w", err)
+		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -workload, -network, or -list")
 	}
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "ansor-tune: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+// exec drives the CLI in-process and returns its stdout.
+func exec(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errb.String())
+	}
+	return out.String()
+}
+
+func TestListSmoke(t *testing.T) {
+	out := exec(t, "-list")
+	for _, want := range []string{"GMM.s1", "ConvLayer", "networks (use with -network)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlagAndInputErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-target", "vax"}, &out, &errb); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := run([]string{"-workload", "NopeNope"}, &out, &errb); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{}, &out, &errb); err == nil {
+		t.Error("no action should error")
+	}
+	if err := run([]string{"-not-a-flag"}, &out, &errb); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-workload", "GMM.s1", "-apply-best",
+		filepath.Join(t.TempDir(), "empty.json")}, &out, &errb); err == nil {
+		t.Error("apply-best from an empty log should error")
+	}
+}
+
+// TestTuneRecordResumeRoundTrip runs the CLI end to end: tune with -log,
+// resume with -resume (continuing the same file), then serve the result
+// with -apply-best at zero fresh trials.
+func TestTuneRecordResumeRoundTrip(t *testing.T) {
+	logFile := filepath.Join(t.TempDir(), "tune.json")
+	common := []string{"-workload", "GMM.s1", "-per-round", "8", "-seed", "5"}
+
+	out := exec(t, append(common, "-trials", "16", "-log", logFile)...)
+	if !strings.Contains(out, "(16 fresh trials)") {
+		t.Fatalf("first run should spend 16 fresh trials:\n%s", out)
+	}
+	log, err := measure.LoadFile(logFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) == 0 {
+		t.Fatal("-log wrote no records")
+	}
+
+	// Resume with a larger budget: the logged prefix replays for free.
+	out = exec(t, append(common, "-trials", "24", "-resume", logFile)...)
+	if !strings.Contains(out, "(8 fresh trials)") {
+		t.Fatalf("resumed run should spend only the 8-trial continuation:\n%s", out)
+	}
+	grown, err := measure.LoadFile(logFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown.Records) <= len(log.Records) {
+		t.Error("-resume should keep appending to the log (implied -log)")
+	}
+
+	// Serve the best recorded schedule without searching.
+	out = exec(t, append(common, "-apply-best", logFile)...)
+	if !strings.Contains(out, "(0 fresh trials)") {
+		t.Fatalf("apply-best must spend zero trials:\n%s", out)
+	}
+	if !strings.Contains(out, "best:") {
+		t.Fatalf("apply-best printed no program:\n%s", out)
+	}
+
+	// The served best matches the log's fastest record for the task.
+	best := -1.0
+	for _, rec := range grown.Records {
+		if rec.Task == "GMM.s1" && (best < 0 || rec.Seconds < best) {
+			best = rec.Seconds
+		}
+	}
+	if best < 0 {
+		t.Fatal("no GMM.s1 records in log")
+	}
+	if !strings.Contains(out, fmt.Sprintf("%.6g", best)) {
+		t.Errorf("apply-best output does not show the best recorded time %g:\n%s", best, out)
+	}
+}

@@ -1,0 +1,108 @@
+// Persist: the durable-tuning-records workflow. Tune with a log file,
+// kill/resume the run bit-identically without re-measuring logged
+// programs, warm-start a related search from history, and finally serve
+// the best schedule from the registry with zero measurement trials —
+// the production "apply history best" path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/ansor"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ansor-persist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	logFile := filepath.Join(dir, "tune.json")
+
+	dag := buildMatmulReLU()
+	task := ansor.NewTask("matmul_relu", dag, ansor.TargetIntelCPU(false))
+
+	// 1. Tune for a partial budget, recording every measurement to the
+	//    log (one JSON record per line, append-friendly). Imagine the
+	//    job is killed here.
+	partial, err := ansor.NewTuner(task, ansor.TuningOptions{
+		Trials: 96, MeasuresPerRound: 16, Seed: 1, RecordTo: logFile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := partial.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := partial.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partial run:  best %.4g s after %d fresh trials (log: %s)\n",
+		best.Seconds, partial.Trials(), filepath.Base(logFile))
+
+	// 2. Resume with a larger budget. The logged prefix replays for
+	//    free: same seed + same options means the continuation is
+	//    bit-identical to a run that was never killed, and only the new
+	//    rounds spend fresh trials.
+	resumed, err := ansor.NewTuner(task, ansor.TuningOptions{
+		Trials: 192, MeasuresPerRound: 16, Seed: 1,
+		RecordTo: logFile, ResumeFrom: logFile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err = resumed.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := resumed.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed run:  best %.4g s, only %d fresh trials for the second half\n",
+		best.Seconds, resumed.Trials())
+
+	// 3. Warm start: a new search (different seed — think "tomorrow's
+	//    tuning job") trains its cost model from the log before the
+	//    first round instead of starting blind.
+	warm, err := ansor.NewTuner(task, ansor.TuningOptions{
+		Trials: 32, MeasuresPerRound: 16, Seed: 42, WarmStartFrom: logFile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err = warm.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm start:   best %.4g s with a 32-trial top-up\n", best.Seconds)
+
+	// 4. Serve: replay the registry's best schedule for the workload
+	//    with zero measurement trials — what a production scheduler does
+	//    for every query that hits accumulated history.
+	server, err := ansor.NewTuner(task, ansor.TuningOptions{ApplyHistoryBest: logFile})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err = server.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("apply best:   %.4g s, %.1f GFLOP/s, %d trials spent\n\n%s",
+		best.Seconds, best.GFLOPS, server.Trials(), best.Print())
+}
+
+func buildMatmulReLU() *ansor.DAG {
+	b := ansor.NewComputeBuilder("matmul_relu")
+	a := b.Input("A", 256, 256)
+	c := b.Matmul(a, 256, true)
+	b.ReLU(c)
+	dag, err := b.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dag
+}

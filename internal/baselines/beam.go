@@ -23,6 +23,11 @@ import (
 type Beam struct {
 	DAG   *te.DAG
 	Width int
+	// Task attributes measurements in tuning logs and resume caches;
+	// empty falls back to the DAG name. Callers tuning several shapes of
+	// one operator family must set distinct names, or their records
+	// collide.
+	Task string
 
 	Measurer *measure.Measurer
 	model    *xgb.CostModel
@@ -35,6 +40,12 @@ type Beam struct {
 	BestTime  float64
 	BestState *ir.State
 	History   []measure.Result
+
+	// Trials counts the measurements requested by THIS searcher. Like
+	// policy.Policy's counter it is the local budget unit: it advances
+	// even when a resume cache serves the measurement for free, so a
+	// replayed search consumes its budget exactly like the original run.
+	Trials int
 }
 
 // NewBeam returns a beam searcher over the DAG.
@@ -67,7 +78,12 @@ func (b *Beam) SearchRound(numMeasure int) []measure.Result {
 	for i := 0; len(batch) < numMeasure && i < len(finals); i++ {
 		batch = append(batch, finals[i])
 	}
-	results := b.Measurer.Measure(batch)
+	task := b.Task
+	if task == "" {
+		task = b.DAG.Name
+	}
+	results := b.Measurer.MeasureTask(task, batch)
+	b.Trials += len(batch)
 	for _, r := range results {
 		if r.Err != nil || r.Seconds <= 0 {
 			continue
@@ -97,12 +113,14 @@ func (b *Beam) SearchRound(numMeasure int) []measure.Result {
 	return results
 }
 
-// Tune runs rounds until the trial budget is exhausted.
+// Tune runs rounds until the trial budget is exhausted. The budget is
+// searcher-local (cache-served measurements count), so tuners sharing a
+// measurer — or resuming from a log — spend deterministic budgets.
 func (b *Beam) Tune(totalTrials, perRound int) float64 {
-	start := b.Measurer.Trials()
-	for b.Measurer.Trials()-start < totalTrials {
+	start := b.Trials
+	for b.Trials-start < totalTrials {
 		n := perRound
-		if rem := totalTrials - (b.Measurer.Trials() - start); rem < n {
+		if rem := totalTrials - (b.Trials - start); rem < n {
 			n = rem
 		}
 		if len(b.SearchRound(n)) == 0 {

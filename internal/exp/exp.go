@@ -39,12 +39,23 @@ type Config struct {
 	Workers int
 	// Out receives the printed rows (nil = discard).
 	Out io.Writer
+	// Recorder, when non-nil, receives every fresh successful
+	// measurement of the experiment's searches as a durable record
+	// (shared across all machines a figure touches).
+	Recorder *measure.Recorder
+	// Cache, when non-nil, serves previously recorded measurements so a
+	// re-run of a figure replays its logged work instead of re-measuring
+	// (the resume path; see DESIGN.md, "Persistence layer").
+	Cache *measure.MeasuredSet
 }
 
-// measurer builds a measurer wired to the config's worker setting.
+// measurer builds a measurer wired to the config's worker setting and
+// persistence sinks.
 func (c Config) measurer(m *sim.Machine, seed int64) *measure.Measurer {
 	ms := measure.New(m, c.Noise, seed)
 	ms.Workers = c.Workers
+	ms.Recorder = c.Recorder
+	ms.Cache = c.Cache
 	return ms
 }
 
@@ -131,13 +142,17 @@ func ARMPlatform() Platform {
 }
 
 // searchFramework runs one search framework on one DAG with the given
-// budget and returns the best latency found.
-func searchFramework(fw Framework, d *te.DAG, plat Platform, cfg Config) float64 {
-	task := policy.Task{Name: d.Name, DAG: d, Target: plat.Target, Weight: 1}
+// budget and returns the best latency found. name attributes the case's
+// measurements in tuning logs; it must be unique per workload shape (a
+// bare DAG name collides across the shapes of one operator family).
+func searchFramework(fw Framework, name string, d *te.DAG, plat Platform, cfg Config) float64 {
+	task := policy.Task{Name: name, DAG: d, Target: plat.Target, Weight: 1}
 	switch fw {
 	case FwHalide:
 		ms := cfg.measurer(plat.Machine, cfg.Seed)
-		return baselines.NewBeam(d, 8, ms, cfg.Seed).Tune(cfg.Trials, cfg.PerRound)
+		bm := baselines.NewBeam(d, 8, ms, cfg.Seed)
+		bm.Task = name
+		return bm.Tune(cfg.Trials, cfg.PerRound)
 	case FwFlexTensor:
 		ms := cfg.measurer(plat.Machine, cfg.Seed)
 		p, err := baselines.NewFlexTensor(task, ms, cfg.Seed)

@@ -54,8 +54,8 @@ func TestFig6SubsetShape(t *testing.T) {
 				d := w.Build()
 				c := cfg
 				c.Seed = cfg.Seed + int64(i)*131
-				ansorT = append(ansorT, d.TotalFlops()/searchFramework(FwAnsor, d, plat, c))
-				autotvmT = append(autotvmT, d.TotalFlops()/searchFramework(FwAutoTVM, d, plat, c))
+				ansorT = append(ansorT, d.TotalFlops()/searchFramework(FwAnsor, w.Key, d, plat, c))
+				autotvmT = append(autotvmT, d.TotalFlops()/searchFramework(FwAutoTVM, w.Key, d, plat, c))
 			}
 			if len(ansorT) == 0 {
 				t.Fatalf("no %s shapes found", op)

@@ -41,7 +41,7 @@ func Fig6(cfg Config, batch int) Fig6Result {
 				d := w.Build()
 				c := cfg
 				c.Seed = cfg.Seed + int64(i)*131
-				t := searchFramework(fw, d, plat, c)
+				t := searchFramework(fw, w.Key, d, plat, c)
 				if t <= 0 {
 					tput = append(tput, 0)
 					continue
@@ -93,7 +93,7 @@ func Fig8(cfg Config, batch int) Fig8Result {
 					d := w.Build()
 					c := cfg
 					c.Seed = cfg.Seed + int64(i)*173
-					t := searchFramework(fw, d, plat, c)
+					t := searchFramework(fw, w.Key, d, plat, c)
 					if t <= 0 {
 						tput = append(tput, 0)
 						continue

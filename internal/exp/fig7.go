@@ -77,9 +77,12 @@ func Fig7(cfg Config, runs int) Fig7Result {
 			switch v {
 			case V7BeamSearch:
 				bm := baselines.NewBeam(d, 8, ms, seed)
-				for ms.Trials() < cfg.Trials {
-					bm.SearchRound(min(cfg.PerRound, cfg.Trials-ms.Trials()))
-					record(ms.Trials(), bm.BestTime)
+				// Budget on the searcher-local counter: with a resume
+				// cache attached the shared measurer counter stalls at
+				// the cached prefix and would never exhaust the budget.
+				for bm.Trials < cfg.Trials {
+					bm.SearchRound(min(cfg.PerRound, cfg.Trials-bm.Trials))
+					record(bm.Trials, bm.BestTime)
 				}
 			default:
 				var p *policy.Policy
@@ -95,9 +98,9 @@ func Fig7(cfg Config, runs int) Fig7Result {
 				if err != nil {
 					panic(err)
 				}
-				for ms.Trials() < cfg.Trials {
-					p.SearchRound(min(cfg.PerRound, cfg.Trials-ms.Trials()))
-					record(ms.Trials(), p.BestTime)
+				for p.Trials < cfg.Trials {
+					p.SearchRound(min(cfg.PerRound, cfg.Trials-p.Trials))
+					record(p.Trials, p.BestTime)
 				}
 			}
 			curvesRaw[v] = append(curvesRaw[v], h)

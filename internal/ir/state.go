@@ -416,7 +416,11 @@ func (s *State) Validate() error {
 func (s *State) iterList(st *Stage) []*Iter { return st.Iters }
 
 // Signature returns a short stable string identifying the program
-// structure and tile sizes; used for deduplication in search.
+// structure and tile sizes; used for deduplication in search. It is
+// deliberately structural and lossy (e.g. constant-layout packing is not
+// encoded): exact program identity, as the persistence layer needs for
+// serving recorded times, is the (DAG fingerprint, step list) pair —
+// see internal/measure.
 func (s *State) Signature() string {
 	var b strings.Builder
 	for _, st := range s.Stages {

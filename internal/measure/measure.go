@@ -23,7 +23,16 @@ type Result struct {
 	// NoiselessSeconds is the model's exact time, used as ground truth in
 	// cost-model experiments.
 	NoiselessSeconds float64
-	Err              error
+	// Cached marks a result served from the measurer's MeasuredSet (a
+	// previously recorded measurement) instead of a fresh trial. Cached
+	// results are bit-identical to what a fresh measurement would
+	// return, but cost no trial.
+	Cached bool
+	Err    error
+
+	// encSteps carries the canonical step encoding computed during the
+	// cache lookup so NewRecord does not re-encode it.
+	encSteps []byte
 }
 
 // GFLOPS returns the measured throughput.
@@ -50,8 +59,22 @@ type Measurer struct {
 	// program and the measurer's seed.
 	Workers int
 
-	// trials counts measurements performed, the unit of search budget in
-	// all of §7's experiments; read it through Trials.
+	// Cache, when non-nil, serves programs already present in it (same
+	// target, task and signature) from their recorded times instead of
+	// measuring: the resume path of the persistence layer. Lookups are
+	// trajectory-neutral — a served result equals the fresh measurement
+	// bit for bit (deterministic machine model + deterministic noise) —
+	// so attaching a cache never changes search outcomes, only how many
+	// fresh trials they cost.
+	Cache *MeasuredSet
+	// Recorder, when non-nil, receives every fresh successful
+	// measurement as a durable Record tagged with the machine name and
+	// the task passed to MeasureTask.
+	Recorder *Recorder
+
+	// trials counts fresh measurements performed (cache hits excluded),
+	// the unit of search budget in all of §7's experiments; read it
+	// through Trials.
 	trials atomic.Int64
 }
 
@@ -60,32 +83,81 @@ func New(m *sim.Machine, noiseStd float64, seed int64) *Measurer {
 	return &Measurer{Machine: m, NoiseStd: noiseStd, Seed: seed}
 }
 
-// Trials returns the total measurements performed so far across all
-// callers of Measure.
+// Trials returns the total fresh measurements performed so far across
+// all callers of Measure/MeasureTask; results served from the attached
+// MeasuredSet are free and not counted.
 func (ms *Measurer) Trials() int { return int(ms.trials.Load()) }
 
 // Measure lowers and times the given programs across Workers goroutines.
-// out[i] always corresponds to states[i].
+// out[i] always corresponds to states[i]. Measurements are attributed to
+// the empty task; searches that persist records use MeasureTask.
 func (ms *Measurer) Measure(states []*ir.State) []Result {
+	return ms.MeasureTask("", states)
+}
+
+// MeasureTask is Measure with task attribution: cache lookups and
+// emitted records are scoped to (machine, task), so identical programs
+// of different tasks never share results and a resumed task replays
+// exactly the records it wrote.
+func (ms *Measurer) MeasureTask(task string, states []*ir.State) []Result {
 	out := make([]Result, len(states))
 	pool.New(ms.Workers).Map(len(states), func(i int) {
-		out[i] = ms.measureOne(states[i])
+		out[i] = ms.measureOne(task, states[i])
 	})
-	ms.trials.Add(int64(len(states)))
+	var fresh int64
+	for i := range out {
+		if !out[i].Cached {
+			fresh++
+		}
+	}
+	ms.trials.Add(fresh)
+	if ms.Recorder != nil {
+		for _, r := range out {
+			if r.Cached || r.Err != nil || r.Seconds <= 0 {
+				continue
+			}
+			rec, err := NewRecord(task, ms.Machine.Name, r)
+			if err != nil {
+				continue
+			}
+			_, _ = ms.Recorder.Record(rec)
+		}
+	}
 	return out
 }
 
-func (ms *Measurer) measureOne(s *ir.State) Result {
+func (ms *Measurer) measureOne(task string, s *ir.State) Result {
 	low, err := ir.Lower(s)
 	if err != nil {
 		return Result{State: s, Err: err}
+	}
+	var encSteps []byte
+	if ms.Cache != nil {
+		// The exact cache key is the program's canonical step encoding:
+		// the structural Signature is too coarse (it exists for search
+		// dedupe) to guarantee the served time belongs to this program.
+		if enc, eerr := ir.EncodeSteps(s.Steps); eerr == nil {
+			if rec, ok := ms.Cache.Lookup(ms.Machine.Name, task, DAGFingerprint(s.DAG), enc); ok {
+				// Serve the recorded noiseless time and re-apply THIS
+				// measurer's deterministic noise: the result is bitwise
+				// what a fresh measurement would return, even when the
+				// log was recorded under a different noise seed.
+				noisy := rec.Noiseless
+				if ms.NoiseStd > 0 {
+					noisy = rec.Noiseless * ms.noiseFactor(s.Signature())
+				}
+				return Result{State: s, Lowered: low, Seconds: noisy,
+					NoiselessSeconds: rec.Noiseless, Cached: true, encSteps: enc}
+			}
+			encSteps = enc
+		}
 	}
 	t := ms.Machine.Time(low)
 	noisy := t
 	if ms.NoiseStd > 0 {
 		noisy = t * ms.noiseFactor(s.Signature())
 	}
-	return Result{State: s, Lowered: low, Seconds: noisy, NoiselessSeconds: t}
+	return Result{State: s, Lowered: low, Seconds: noisy, NoiselessSeconds: t, encSteps: encSteps}
 }
 
 // noiseFactor returns a deterministic lognormal-ish factor per program.

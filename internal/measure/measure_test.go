@@ -86,9 +86,17 @@ func TestLogRoundTrip(t *testing.T) {
 	ms := New(sim.IntelXeon(), 0, 1)
 	res := ms.Measure([]*ir.State{s, ir.NewState(d)})
 	var log Log
-	log.AddAll("mm", res)
-	if len(log.Records) != 2 {
-		t.Fatalf("records = %d, want 2", len(log.Records))
+	n, err := log.AddAll("mm", ms.Machine.Name, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(log.Records) != 2 {
+		t.Fatalf("recorded %d (len %d), want 2", n, len(log.Records))
+	}
+	for _, rec := range log.Records {
+		if rec.Target != ms.Machine.Name || rec.Sig == "" || rec.Noiseless <= 0 {
+			t.Errorf("record missing persistence fields: %+v", rec)
+		}
 	}
 
 	var buf bytes.Buffer
@@ -118,7 +126,127 @@ func TestLogRoundTrip(t *testing.T) {
 
 func TestLogRejectsFailedResult(t *testing.T) {
 	var log Log
-	if err := log.Add("t", Result{Err: fmt.Errorf("boom")}); err == nil {
+	if err := log.Add("t", "m", Result{Err: fmt.Errorf("boom")}); err == nil {
 		t.Error("failed result recorded")
+	}
+	n, err := log.AddAll("t", "m", []Result{{Err: fmt.Errorf("boom")}})
+	if n != 0 || err != nil {
+		t.Errorf("AddAll of failed batch = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestLogLineOrientedAndLegacyLoad(t *testing.T) {
+	s := matmulState(t)
+	s2 := matmulState(t)
+	s2.MustApply(&ir.AnnotateStep{Stage: "matmul", IterIdx: 0, Ann: ir.AnnParallel})
+	ms := New(sim.IntelXeon(), 0, 1)
+	var log Log
+	if _, err := log.AddAll("mm", "m1", ms.Measure([]*ir.State{s, s2})); err != nil {
+		t.Fatal(err)
+	}
+
+	// Line-oriented: one JSON object per line, appendable.
+	var buf bytes.Buffer
+	if err := log.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("saved %d lines, want 2", len(lines))
+	}
+	// Appending another Save output to the same stream still loads.
+	if err := log.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Records) != 4 {
+		t.Fatalf("loaded %d records, want 4", len(loaded.Records))
+	}
+
+	// Legacy single-object format still loads.
+	legacy := []byte(`{"records":[{"task":"mm","steps":[],"seconds":0.5}]}`)
+	l2, err := Load(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2.Records) != 1 || l2.Records[0].Seconds != 0.5 || l2.Records[0].Target != "" {
+		t.Fatalf("legacy load wrong: %+v", l2.Records)
+	}
+
+	// Garbage errors out.
+	if _, err := Load(bytes.NewReader([]byte(`{"neither":1}`))); err == nil {
+		t.Error("non-record JSON should fail to load")
+	}
+}
+
+func TestMeasuredSetServesCachedResults(t *testing.T) {
+	s := matmulState(t)
+	ms := New(sim.IntelXeon(), 0.05, 7)
+	ms.Recorder = NewRecorder(nil)
+	first := ms.MeasureTask("mm", []*ir.State{s})[0]
+	if ms.Trials() != 1 {
+		t.Fatalf("trials = %d, want 1", ms.Trials())
+	}
+
+	// A second measurer resuming from the recorded log serves the same
+	// result without spending a trial.
+	ms2 := New(sim.IntelXeon(), 0.05, 7)
+	ms2.Cache = NewMeasuredSet()
+	if n := ms2.Cache.AddLog(ms.Recorder.Log()); n != 1 {
+		t.Fatalf("cache loaded %d records, want 1", n)
+	}
+	r := ms2.MeasureTask("mm", []*ir.State{s})[0]
+	if !r.Cached {
+		t.Fatal("result should be served from the measured-set")
+	}
+	if r.Seconds != first.Seconds || r.NoiselessSeconds != first.NoiselessSeconds {
+		t.Errorf("cached result diverged: %+v vs %+v", r, first)
+	}
+	if ms2.Trials() != 0 {
+		t.Errorf("cached measurement cost %d trials, want 0", ms2.Trials())
+	}
+
+	// Other tasks and the task-less Measure path never see mm's entries.
+	if r := ms2.MeasureTask("other", []*ir.State{s})[0]; r.Cached {
+		t.Error("cache must be task-scoped")
+	}
+	if r := ms2.Measure([]*ir.State{s})[0]; r.Cached {
+		t.Error("cache must not leak into task-less measurements")
+	}
+}
+
+func TestRecorderDedupesAndStreams(t *testing.T) {
+	s := matmulState(t)
+	ms := New(sim.IntelXeon(), 0, 1)
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	ms.Recorder = rec
+	ms.MeasureTask("mm", []*ir.State{s, s})
+	ms.MeasureTask("mm", []*ir.State{s})
+	if got := len(rec.Log().Records); got != 1 {
+		t.Fatalf("recorder kept %d records, want 1 (dedupe)", got)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Records) != 1 {
+		t.Fatalf("stream has %d records, want 1", len(loaded.Records))
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// MarkSeen suppresses re-recording what an existing file already has.
+	rec2 := NewRecorder(nil)
+	rec2.MarkSeen(loaded)
+	ms2 := New(sim.IntelXeon(), 0, 1)
+	ms2.Recorder = rec2
+	ms2.MeasureTask("mm", []*ir.State{s})
+	if got := len(rec2.Log().Records); got != 0 {
+		t.Errorf("recorder re-recorded %d pre-seen records, want 0", got)
 	}
 }

@@ -1,0 +1,199 @@
+package measure
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// setKey identifies one measured program: results are only comparable
+// within one (target, task) scope. Scoping by task keeps the replay
+// cache trajectory-neutral — a resumed search consults exactly the
+// entries its own task wrote, so dedupe never changes which programs the
+// search picks, only whether picking them costs a fresh trial (see
+// DESIGN.md, "Persistence layer"). The program is keyed by its canonical
+// encoded step list, which fully determines it (§5.1) — unlike the
+// structural Signature, which is deliberately coarse for search-level
+// dedupe, the step encoding can never conflate two programs that measure
+// differently.
+type setKey struct {
+	target, task, dag, steps string
+}
+
+// MeasuredSet is a concurrency-safe set of already-measured programs
+// with their recorded times. A Measurer with a MeasuredSet attached
+// serves matching programs from it instead of re-measuring, which is
+// what makes resume free for already-logged work (§5.1's dedupe applied
+// at the measurement layer).
+type MeasuredSet struct {
+	mu sync.RWMutex
+	m  map[setKey]Record
+}
+
+// NewMeasuredSet returns an empty set.
+func NewMeasuredSet() *MeasuredSet {
+	return &MeasuredSet{m: map[setKey]Record{}}
+}
+
+// Add inserts a record. Serving reconstructs measurements from the
+// noiseless machine time, so records lacking it (legacy logs) are
+// skipped — they can still be replayed or registry-served, just not used
+// to shortcut fresh measurement. The first record for a key wins.
+func (ms *MeasuredSet) Add(rec Record) bool {
+	if len(rec.Steps) == 0 || rec.Seconds <= 0 || rec.Noiseless <= 0 || rec.DAG == "" {
+		return false
+	}
+	k := setKey{rec.Target, rec.Task, rec.DAG, string(rec.Steps)}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if _, ok := ms.m[k]; ok {
+		return false
+	}
+	ms.m[k] = rec
+	return true
+}
+
+// AddLog inserts every usable record of a log and returns how many were
+// new.
+func (ms *MeasuredSet) AddLog(l *Log) int {
+	n := 0
+	for _, rec := range l.Records {
+		if ms.Add(rec) {
+			n++
+		}
+	}
+	return n
+}
+
+// Lookup returns the recorded measurement for a program identified by
+// its canonical encoded step list, if present.
+func (ms *MeasuredSet) Lookup(target, task, dag string, steps []byte) (Record, bool) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	rec, ok := ms.m[setKey{target, task, dag, string(steps)}]
+	return rec, ok
+}
+
+// Contains reports whether the program was already measured.
+func (ms *MeasuredSet) Contains(target, task, dag string, steps []byte) bool {
+	_, ok := ms.Lookup(target, task, dag, steps)
+	return ok
+}
+
+// Len returns the number of distinct measured programs.
+func (ms *MeasuredSet) Len() int {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	return len(ms.m)
+}
+
+// Recorder receives fresh successful measurements and appends them,
+// deduplicated by (target, task, signature), to an in-memory log and an
+// optional writer (one JSON record per line, so an *os.File opened in
+// append mode accumulates a durable log across runs). It is safe for
+// concurrent use by measurers sharing it.
+type Recorder struct {
+	mu   sync.Mutex
+	w    io.Writer
+	log  Log
+	seen map[setKey]struct{}
+	err  error
+}
+
+// NewRecorder returns a recorder streaming to w (nil keeps the log
+// in-memory only).
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: w, seen: map[setKey]struct{}{}}
+}
+
+// MarkSeen pre-seeds the dedupe set (without re-writing the records),
+// used when appending to an existing log file so resumed runs do not
+// duplicate lines.
+func (r *Recorder) MarkSeen(l *Log) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rec := range l.Records {
+		if len(rec.Steps) > 0 {
+			r.seen[setKey{rec.Target, rec.Task, rec.DAG, string(rec.Steps)}] = struct{}{}
+		}
+	}
+}
+
+// Record appends one record; duplicates are dropped. It reports whether
+// the record was new.
+func (r *Recorder) Record(rec Record) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(rec.Steps) > 0 {
+		k := setKey{rec.Target, rec.Task, rec.DAG, string(rec.Steps)}
+		if _, ok := r.seen[k]; ok {
+			return false, r.err
+		}
+		r.seen[k] = struct{}{}
+	}
+	r.log.Records = append(r.log.Records, rec)
+	if r.w != nil && r.err == nil {
+		one := Log{Records: []Record{rec}}
+		if err := one.Save(r.w); err != nil {
+			// Keep tuning if the sink fails; surface the first error to
+			// whoever closes the run.
+			r.err = err
+		}
+	}
+	return true, r.err
+}
+
+// Log returns a snapshot of everything recorded so far.
+func (r *Recorder) Log() *Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := &Log{Records: make([]Record, len(r.log.Records))}
+	copy(out.Records, r.log.Records)
+	return out
+}
+
+// Err returns the first write error encountered by the streaming sink.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// OpenPersistence wires the file-backed persistence of one run: a
+// resume cache loaded from resumeFrom, and a recorder appending to
+// recordTo with its dedupe set pre-seeded from the file's existing
+// records. Either path may be empty; when both name the same file (the
+// usual resume-and-keep-recording setup) it is read once. The caller
+// owns closing the returned file and surfacing Recorder.Err.
+func OpenPersistence(recordTo, resumeFrom string) (*Recorder, *MeasuredSet, *os.File, error) {
+	var resumeLog *Log
+	var cache *MeasuredSet
+	if resumeFrom != "" {
+		l, err := LoadFile(resumeFrom)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("measure: resume from %s: %w", resumeFrom, err)
+		}
+		resumeLog = l
+		cache = NewMeasuredSet()
+		cache.AddLog(l)
+	}
+	if recordTo == "" {
+		return nil, cache, nil, nil
+	}
+	existing := resumeLog
+	if recordTo != resumeFrom {
+		l, err := LoadFile(recordTo)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("measure: record to %s: %w", recordTo, err)
+		}
+		existing = l
+	}
+	f, err := os.OpenFile(recordTo, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("measure: record to %s: %w", recordTo, err)
+	}
+	rec := NewRecorder(f)
+	rec.MarkSeen(existing)
+	return rec, cache, f, nil
+}

@@ -3,22 +3,89 @@ package measure
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
+	"os"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/te"
 )
 
 // Record is one persisted measurement: the task it belongs to, the
-// program's rewriting steps (which fully determine it, §5.1), and the
+// target machine it was measured on, the program's rewriting steps
+// (which fully determine it, §5.1), its canonical signature, and the
 // measured time. Records are the durable tuning log — the equivalent of
 // TVM's measure records — so a finished search can be replayed without
-// re-measuring.
+// re-measuring, warm-start a cost model, or serve a best schedule from
+// the registry.
 type Record struct {
-	Task    string          `json:"task"`
-	Steps   json.RawMessage `json:"steps"`
-	Seconds float64         `json:"seconds"`
+	// Task is the workload key the program was tuned for (e.g. "GMM.s1"
+	// or a network task name).
+	Task string `json:"task"`
+	// Target names the machine model the time was measured on
+	// (sim.Machine.Name); empty in logs written before targets were
+	// recorded.
+	Target string `json:"target,omitempty"`
+	// Sig is the program's structural signature (ir.State.Signature),
+	// recorded for inspection and search-level dedupe. The measured-set
+	// keys on DAG+Steps — the exact program identity — not on Sig.
+	Sig string `json:"sig,omitempty"`
+	// DAG fingerprints the computation the steps rewrite
+	// (DAGFingerprint): one task name can cover several shapes (e.g. the
+	// batch variants of a workload), and a cache serve is only valid for
+	// the exact computation that was measured. Empty in legacy logs.
+	DAG   string          `json:"dag,omitempty"`
+	Steps json.RawMessage `json:"steps"`
+	// Seconds is the measured time including the deterministic
+	// per-program noise.
+	Seconds float64 `json:"seconds"`
+	// Noiseless is the machine model's exact time. Zero in legacy logs;
+	// derivable from Seconds only up to float rounding, so it is stored.
+	Noiseless float64 `json:"noiseless,omitempty"`
+}
+
+// NewRecord builds the durable record of one successful measurement.
+func NewRecord(task, target string, r Result) (Record, error) {
+	if r.Err != nil || r.Seconds <= 0 {
+		return Record{}, fmt.Errorf("measure: cannot record failed measurement")
+	}
+	steps := r.encSteps // already encoded by the cache lookup, if any
+	if steps == nil {
+		var err error
+		if steps, err = ir.EncodeSteps(r.State.Steps); err != nil {
+			return Record{}, err
+		}
+	}
+	return Record{
+		Task:      task,
+		Target:    target,
+		Sig:       r.State.Signature(),
+		DAG:       DAGFingerprint(r.State.DAG),
+		Steps:     steps,
+		Seconds:   r.Seconds,
+		Noiseless: r.NoiselessSeconds,
+	}, nil
+}
+
+// dagFPs memoizes fingerprints per DAG pointer: DAGs are immutable once
+// built, and the measurement hot path fingerprints the same task DAG
+// for every candidate.
+var dagFPs sync.Map // *te.DAG -> string
+
+// DAGFingerprint canonically identifies a computation: a hash of the
+// DAG's rendered structure (nodes, loop extents, reads), so records of
+// different shapes sharing one task name never serve each other.
+func DAGFingerprint(d *te.DAG) string {
+	if fp, ok := dagFPs.Load(d); ok {
+		return fp.(string)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(d.String()))
+	fp := fmt.Sprintf("%016x", h.Sum64())
+	dagFPs.Store(d, fp)
+	return fp
 }
 
 // Log is an append-only collection of records.
@@ -27,40 +94,110 @@ type Log struct {
 }
 
 // Add appends a successful measurement to the log.
-func (l *Log) Add(task string, r Result) error {
-	if r.Err != nil || r.Seconds <= 0 {
-		return fmt.Errorf("measure: cannot record failed measurement")
-	}
-	steps, err := ir.EncodeSteps(r.State.Steps)
+func (l *Log) Add(task, target string, r Result) error {
+	rec, err := NewRecord(task, target, r)
 	if err != nil {
 		return err
 	}
-	l.Records = append(l.Records, Record{Task: task, Steps: steps, Seconds: r.Seconds})
+	l.Records = append(l.Records, rec)
 	return nil
 }
 
-// AddAll appends every successful result of a batch.
-func (l *Log) AddAll(task string, rs []Result) {
+// AddAll appends every successful result of a batch and returns how many
+// were recorded plus the first encoding error encountered (failed
+// measurements are skipped silently — they carry no program to record).
+func (l *Log) AddAll(task, target string, rs []Result) (int, error) {
+	var n int
+	var first error
 	for _, r := range rs {
-		if r.Err == nil && r.Seconds > 0 {
-			_ = l.Add(task, r)
+		if r.Err != nil || r.Seconds <= 0 {
+			continue
 		}
+		if err := l.Add(task, target, r); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		n++
 	}
+	return n, first
 }
 
-// Save writes the log as JSON.
+// Save writes the log line-oriented: one JSON record per line, so long
+// runs can append records without rewriting the file. Load accepts both
+// this format and the old single-object {"records": [...]} format.
 func (l *Log) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(l)
+	for _, rec := range l.Records {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("measure: save log: %w", err)
+		}
+	}
+	return nil
 }
 
-// Load parses a log written by Save.
-func Load(r io.Reader) (*Log, error) {
-	var l Log
-	if err := json.NewDecoder(r).Decode(&l); err != nil {
-		return nil, fmt.Errorf("measure: load log: %w", err)
+// SaveFile writes the log to path (truncating).
+func (l *Log) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	return &l, nil
+	if err := l.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load parses a log written by Save: a stream of JSON values, each
+// either one record (the line-oriented format) or a whole legacy
+// {"records": [...]} object.
+func Load(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	l := &Log{}
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			return l, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("measure: load log: %w", err)
+		}
+		var probe struct {
+			Records []Record        `json:"records"`
+			Steps   json.RawMessage `json:"steps"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("measure: load log: %w", err)
+		}
+		if probe.Records != nil {
+			l.Records = append(l.Records, probe.Records...)
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("measure: load log: %w", err)
+		}
+		if rec.Steps == nil {
+			return nil, fmt.Errorf("measure: load log: entry is neither a record nor a record list")
+		}
+		l.Records = append(l.Records, rec)
+	}
+}
+
+// LoadFile reads a log from path. A missing file is not an error: it
+// returns an empty log, so "resume from a log that does not exist yet"
+// degrades to a cold start.
+func LoadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Log{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // Replay rebuilds the record's program on the given DAG.

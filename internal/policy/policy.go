@@ -205,7 +205,12 @@ func (p *Policy) SearchRound(numMeasure int) []measure.Result {
 		candidates = search.Run(p.Task.DAG, init, sc, 4*numMeasure)
 	}
 	batch := p.pickBatch(sc, candidates, numMeasure)
-	results := p.Measurer.Measure(batch)
+	// Task-attributed measurement: records land in the tuning log under
+	// this task's name, and a resume cache serves exactly the records
+	// this task wrote. Cache hits cost no measurer trial but still count
+	// against the policy-local budget, so a resumed search replays the
+	// original trial accounting bit for bit.
+	results := p.Measurer.MeasureTask(p.Task.Name, batch)
 	p.Trials += len(batch)
 	p.update(results)
 	return results
@@ -267,18 +272,29 @@ func (p *Policy) update(results []measure.Result) {
 		if r.Err != nil || r.Seconds <= 0 {
 			continue
 		}
-		sig := r.State.Signature()
-		p.measuredSigs[sig] = true
-		p.progFeats = append(p.progFeats, feat.Extract(r.Lowered))
-		p.progTimes = append(p.progTimes, r.Seconds)
-		if r.Seconds < p.BestTime {
-			p.BestTime = r.Seconds
-			p.BestState = r.State
-		}
-		p.bestStates = append(p.bestStates, r.State)
-		p.bestTimes = append(p.bestTimes, r.Seconds)
+		p.absorb(r.State, feat.Extract(r.Lowered), r.Seconds)
 	}
-	// Keep the best pool sorted and bounded.
+	p.rebuildBestPool()
+	p.retrain()
+	p.History = append(p.History, HistoryPoint{Trials: p.Trials, BestTime: p.BestTime})
+}
+
+// absorb folds one measured program into the accumulated training data
+// and best tracking (pool rebuild and retraining are the caller's job).
+func (p *Policy) absorb(s *ir.State, feats [][]float64, seconds float64) {
+	p.measuredSigs[s.Signature()] = true
+	p.progFeats = append(p.progFeats, feats)
+	p.progTimes = append(p.progTimes, seconds)
+	if seconds < p.BestTime {
+		p.BestTime = seconds
+		p.BestState = s
+	}
+	p.bestStates = append(p.bestStates, s)
+	p.bestTimes = append(p.bestTimes, seconds)
+}
+
+// rebuildBestPool keeps the best pool sorted and bounded.
+func (p *Policy) rebuildBestPool() {
 	idx := make([]int, len(p.bestStates))
 	for i := range idx {
 		idx[i] = i
@@ -294,23 +310,78 @@ func (p *Policy) update(results []measure.Result) {
 		states[i], times[i] = p.bestStates[j], p.bestTimes[j]
 	}
 	p.bestStates, p.bestTimes = states, times
-
-	// Retrain: labels are throughputs normalized to [0,1] per DAG (§5.2).
-	if len(p.progTimes) > 0 && !p.Opts.DisableFineTuning {
-		minT := p.progTimes[0]
-		for _, t := range p.progTimes {
-			if t < minT {
-				minT = t
-			}
-		}
-		y := make([]float64, len(p.progTimes))
-		for i, t := range p.progTimes {
-			y[i] = minT / t
-		}
-		p.model.Fit(p.progFeats, y)
-	}
-	p.History = append(p.History, HistoryPoint{Trials: p.Trials, BestTime: p.BestTime})
 }
+
+// retrain refits the cost model on all accumulated data: labels are
+// throughputs normalized to [0,1] per DAG (§5.2).
+func (p *Policy) retrain() {
+	if len(p.progTimes) == 0 || p.Opts.DisableFineTuning {
+		return
+	}
+	minT := p.progTimes[0]
+	for _, t := range p.progTimes {
+		if t < minT {
+			minT = t
+		}
+	}
+	y := make([]float64, len(p.progTimes))
+	for i, t := range p.progTimes {
+		y[i] = minT / t
+	}
+	p.model.Fit(p.progFeats, y)
+}
+
+// WarmStart replays previously recorded programs of this policy's task
+// into the accumulated training data and best-k pool, then trains the
+// cost model once — so the very first SearchRound evolves under a model
+// fitted to history instead of sampling blind (§5.2 trains "from all
+// accumulated measurements"; the TVM-style transfer-from-logs path).
+// Records of other tasks or targets are skipped, as are records that no
+// longer replay on this DAG. Warm-started programs enter measuredSigs,
+// so pickBatch never re-measures them. Trials and History stay
+// untouched: warm-start is free budget-wise. Returns how many records
+// were absorbed and the first replay error encountered.
+func (p *Policy) WarmStart(recs []measure.Record) (int, error) {
+	var n int
+	var first error
+	for _, rec := range recs {
+		if rec.Task != p.Task.Name || rec.Seconds <= 0 {
+			continue
+		}
+		if rec.Target != "" && p.Measurer != nil && rec.Target != p.Measurer.Machine.Name {
+			continue
+		}
+		s, err := rec.Replay(p.Task.DAG)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		if p.measuredSigs[s.Signature()] {
+			continue
+		}
+		low, err := ir.Lower(s)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		p.absorb(s, feat.Extract(low), rec.Seconds)
+		n++
+	}
+	if n > 0 {
+		p.rebuildBestPool()
+		p.retrain()
+	}
+	return n, first
+}
+
+// ModelFingerprint hashes the trained cost-model ensemble; equal
+// fingerprints mean bit-identical models (see xgb.Fingerprint). Used by
+// the persistence layer's determinism checks.
+func (p *Policy) ModelFingerprint() uint64 { return p.model.Fingerprint() }
 
 // scoreAll shards scoring over the policy's worker pool with order-stable
 // results.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sketch"
 	"repro/internal/te"
+	"repro/internal/xgb"
 )
 
 func matmulReLU(n, m, k int) *te.DAG {
@@ -157,5 +158,70 @@ func TestPolicyCustomRulePlumbing(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Error("user rule was never consulted")
+	}
+}
+
+func TestWarmStartTrainsModelAndDedupes(t *testing.T) {
+	task := Task{Name: "mm", DAG: matmulReLU(256, 256, 256), Target: sketch.CPUTarget()}
+
+	// First run: tune a little and record everything measured.
+	ms := measure.New(sim.IntelXeon(), 0.02, 1)
+	ms.Recorder = measure.NewRecorder(nil)
+	p1, err := New(task, DefaultOptions(), ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Tune(48, 16)
+	log := ms.Recorder.Log()
+	if len(log.Records) == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	// Second run warm-starts from the log: model trained before round 1,
+	// best pool seeded, logged programs never re-measured.
+	ms2 := measure.New(sim.IntelXeon(), 0.02, 1)
+	p2, err := New(task, DefaultOptions(), ms2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	untrained := xgb.NewCostModel(xgb.DefaultOpts()).Fingerprint()
+	if p2.ModelFingerprint() != untrained {
+		t.Fatal("fresh policy should have an untrained model")
+	}
+	n, err := p2.WarmStart(log.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("warm start absorbed nothing")
+	}
+	if p2.ModelFingerprint() == untrained {
+		t.Error("warm start must train the cost model before the first round")
+	}
+	if p2.BestState == nil || p2.BestTime != p1.BestTime {
+		t.Errorf("warm start best %g, want first run's best %g", p2.BestTime, p1.BestTime)
+	}
+	if p2.Trials != 0 || len(p2.History) != 0 {
+		t.Error("warm start must not consume budget or history")
+	}
+	// Absorbing the same records again is a no-op (dedupe by signature).
+	if n2, _ := p2.WarmStart(log.Records); n2 != 0 {
+		t.Errorf("re-warm-start absorbed %d records, want 0", n2)
+	}
+	// Records for other tasks or targets are ignored.
+	other := log.Records[0]
+	other.Task = "different"
+	if n3, _ := p2.WarmStart([]measure.Record{other}); n3 != 0 {
+		t.Error("foreign-task record absorbed")
+	}
+	wrongTarget := log.Records[0]
+	wrongTarget.Target = "not-this-machine"
+	if n4, _ := p2.WarmStart([]measure.Record{wrongTarget}); n4 != 0 {
+		t.Error("foreign-target record absorbed")
+	}
+	// The warm-started policy can keep tuning.
+	p2.Tune(16, 16)
+	if p2.BestTime > p1.BestTime {
+		t.Error("continued tuning regressed below the warm-started best")
 	}
 }

@@ -1,0 +1,181 @@
+// Package registry maintains the best recorded schedule per
+// (workload, target): the serving side of the persistence layer. A
+// production auto-scheduler answers most queries from logs accumulated
+// by past searches ("apply history best" in TVM terms) instead of
+// re-searching; this package turns tuning logs into that database —
+// load/save/merge of log files and zero-trial replay of the best entry.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/measure"
+	"repro/internal/te"
+)
+
+// Key identifies one registry entry. One task name legitimately covers
+// several computation shapes (e.g. batch variants), whose schedules and
+// times are not interchangeable — so the DAG fingerprint is part of the
+// key, and serving never hands one shape's record to another.
+type Key struct {
+	// Workload is the task name the schedule was tuned for.
+	Workload string
+	// Target is the machine model name it was measured on. Legacy
+	// records carry neither target nor DAG fingerprint and are stored
+	// under ("", ""), acting as a fallback for any target/shape.
+	Target string
+	// DAG is the computation fingerprint (measure.DAGFingerprint).
+	DAG string
+}
+
+// Registry holds the fastest record seen per key. It is safe for
+// concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	best map[Key]measure.Record
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{best: map[Key]measure.Record{}}
+}
+
+// Add offers one record; it is kept only if it beats the current best
+// for its key. Reports whether the entry improved.
+func (r *Registry) Add(rec measure.Record) bool {
+	if rec.Task == "" || rec.Seconds <= 0 {
+		return false
+	}
+	k := Key{rec.Task, rec.Target, rec.DAG}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.best[k]; ok && cur.Seconds <= rec.Seconds {
+		return false
+	}
+	r.best[k] = rec
+	return true
+}
+
+// AddLog offers every record of a log and returns how many improved a
+// key.
+func (r *Registry) AddLog(l *measure.Log) int {
+	n := 0
+	for _, rec := range l.Records {
+		if r.Add(rec) {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge folds another registry in (keeping per-key minima) and returns
+// how many keys improved.
+func (r *Registry) Merge(o *Registry) int {
+	return r.AddLog(o.Log())
+}
+
+// Best returns the fastest record for the workload's exact computation
+// (DAG fingerprint) on the target, falling back to a legacy entry
+// (recorded before targets/fingerprints existed) if no exact match
+// exists. A record of a different shape of the same task name is never
+// returned: its schedule and time do not transfer.
+func (r *Registry) Best(workload, target, dag string) (measure.Record, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if rec, ok := r.best[Key{workload, target, dag}]; ok {
+		return rec, true
+	}
+	rec, ok := r.best[Key{workload, "", ""}]
+	return rec, ok
+}
+
+// BestFor is Best keyed by the computation itself.
+func (r *Registry) BestFor(workload, target string, dag *te.DAG) (measure.Record, bool) {
+	return r.Best(workload, target, measure.DAGFingerprint(dag))
+}
+
+// ApplyBest replays the best schedule for the workload's computation on
+// the target, returning the program and its recorded time without
+// spending any measurement trial.
+func (r *Registry) ApplyBest(workload, target string, dag *te.DAG) (*ir.State, float64, error) {
+	rec, ok := r.BestFor(workload, target, dag)
+	if !ok {
+		return nil, 0, fmt.Errorf("registry: no schedule recorded for workload %q (this shape) on target %q", workload, target)
+	}
+	s, err := rec.Replay(dag)
+	if err != nil {
+		return nil, 0, fmt.Errorf("registry: replay %q on %q: %w", workload, target, err)
+	}
+	return s, rec.Seconds, nil
+}
+
+// Len returns the number of keys with a best entry.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.best)
+}
+
+// Keys returns every key, sorted for deterministic iteration.
+func (r *Registry) Keys() []Key {
+	r.mu.RLock()
+	out := make([]Key, 0, len(r.best))
+	for k := range r.best {
+		out = append(out, k)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		if out[i].Target != out[j].Target {
+			return out[i].Target < out[j].Target
+		}
+		return out[i].DAG < out[j].DAG
+	})
+	return out
+}
+
+// Lookup returns the entry stored under the exact key.
+func (r *Registry) Lookup(k Key) (measure.Record, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec, ok := r.best[k]
+	return rec, ok
+}
+
+// Log snapshots the registry as a log of best records in Keys order, so
+// Save output is deterministic and re-loadable anywhere logs are.
+func (r *Registry) Log() *measure.Log {
+	keys := r.Keys()
+	l := &measure.Log{}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, k := range keys {
+		if rec, ok := r.best[k]; ok {
+			l.Records = append(l.Records, rec)
+		}
+	}
+	return l
+}
+
+// SaveFile writes the registry's best records to path (line-oriented,
+// the same format as tuning logs).
+func (r *Registry) SaveFile(path string) error {
+	return r.Log().SaveFile(path)
+}
+
+// LoadFile builds a registry from a tuning log or registry file. A
+// missing file yields an empty registry.
+func LoadFile(path string) (*Registry, error) {
+	l, err := measure.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := New()
+	r.AddLog(l)
+	return r, nil
+}

@@ -1,0 +1,140 @@
+package registry
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/measure"
+	"repro/internal/sim"
+	"repro/internal/te"
+)
+
+func mmDAG(t *testing.T) *te.DAG {
+	t.Helper()
+	b := te.NewBuilder("mm")
+	a := b.Input("A", 64, 64)
+	b.Matmul(a, 64, true)
+	return b.MustFinish()
+}
+
+// measuredLog returns a log with two distinct programs of task "mm".
+func measuredLog(t *testing.T, dag *te.DAG) *measure.Log {
+	t.Helper()
+	s1 := ir.NewState(dag)
+	s2 := ir.NewState(dag)
+	s2.MustApply(&ir.AnnotateStep{Stage: "matmul", IterIdx: 0, Ann: ir.AnnParallel})
+	ms := measure.New(sim.IntelXeon(), 0, 1)
+	var l measure.Log
+	if _, err := l.AddAll("mm", ms.Machine.Name, ms.Measure([]*ir.State{s1, s2})); err != nil {
+		t.Fatal(err)
+	}
+	return &l
+}
+
+func TestRegistryKeepsPerKeyMinimum(t *testing.T) {
+	dag := mmDAG(t)
+	l := measuredLog(t, dag)
+	r := New()
+	if n := r.AddLog(l); n == 0 {
+		t.Fatal("no records registered")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("keys = %d, want 1 (same workload+target)", r.Len())
+	}
+	best, ok := r.Best("mm", l.Records[0].Target, l.Records[0].DAG)
+	if !ok {
+		t.Fatal("best missing")
+	}
+	for _, rec := range l.Records {
+		if rec.Seconds < best.Seconds {
+			t.Errorf("registry kept %g, log has faster %g", best.Seconds, rec.Seconds)
+		}
+	}
+	// Re-adding a slower duplicate does not improve.
+	slow := best
+	slow.Seconds *= 2
+	if r.Add(slow) {
+		t.Error("slower record should not improve the registry")
+	}
+}
+
+func TestRegistryApplyBestReplays(t *testing.T) {
+	dag := mmDAG(t)
+	l := measuredLog(t, dag)
+	r := New()
+	r.AddLog(l)
+	s, sec, err := r.ApplyBest("mm", l.Records[0].Target, dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || sec <= 0 {
+		t.Fatal("bad replayed best")
+	}
+	// Replayed program re-measures to the recorded time (noise-free).
+	got := measure.New(sim.IntelXeon(), 0, 1).Measure([]*ir.State{s})[0]
+	if got.Seconds != sec {
+		t.Errorf("replayed best measures %g, recorded %g", got.Seconds, sec)
+	}
+	if _, _, err := r.ApplyBest("absent", "x", dag); err == nil {
+		t.Error("missing workload should error")
+	}
+}
+
+func TestRegistryLegacyTargetFallback(t *testing.T) {
+	r := New()
+	r.Add(measure.Record{Task: "mm", Seconds: 0.5, Steps: []byte("[]")})
+	if _, ok := r.Best("mm", "some-machine", "somedag"); !ok {
+		t.Error("legacy record (no target, no fingerprint) should serve any target/shape")
+	}
+	r.Add(measure.Record{Task: "mm", Target: "some-machine", DAG: "somedag", Seconds: 0.7, Steps: []byte("[]")})
+	best, _ := r.Best("mm", "some-machine", "somedag")
+	if best.Target != "some-machine" {
+		t.Error("exact match must win over legacy fallback")
+	}
+	// A record of a different shape under the same name is not served
+	// (falls back to the legacy entry here, which has no shape claim).
+	other, _ := r.Best("mm", "some-machine", "otherdag")
+	if other.DAG == "somedag" {
+		t.Error("a different shape's record must never be served")
+	}
+}
+
+func TestRegistrySaveLoadMerge(t *testing.T) {
+	dag := mmDAG(t)
+	l := measuredLog(t, dag)
+	r := New()
+	r.AddLog(l)
+	path := filepath.Join(t.TempDir(), "reg.json")
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != r.Len() {
+		t.Fatalf("round trip lost keys: %d vs %d", r2.Len(), r.Len())
+	}
+	b1, _ := r.Best("mm", l.Records[0].Target, l.Records[0].DAG)
+	b2, _ := r2.Best("mm", l.Records[0].Target, l.Records[0].DAG)
+	if b1.Seconds != b2.Seconds || b1.Sig != b2.Sig {
+		t.Error("round trip changed the best record")
+	}
+	// Merging an identical registry improves nothing; a faster one wins.
+	if n := r.Merge(r2); n != 0 {
+		t.Errorf("self-merge improved %d keys, want 0", n)
+	}
+	faster := b1
+	faster.Seconds /= 2
+	r3 := New()
+	r3.Add(faster)
+	if n := r.Merge(r3); n != 1 {
+		t.Errorf("merge of faster record improved %d keys, want 1", n)
+	}
+	// Missing file loads as empty.
+	empty, err := LoadFile(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("missing file should load empty, got len=%d err=%v", empty.Len(), err)
+	}
+}

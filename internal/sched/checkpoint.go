@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Checkpoint is the durable gradient state of a scheduler: everything
+// the allocation policy of §6/Appendix A reads — per-task allocation
+// histories (the g_i curves backing the backward difference), the
+// convergence counters, the unit and warm-up cursors, the objective
+// curve, and the count of ε-greedy decisions made so far. Together with
+// the tuning log (which reconstitutes every task's policy state by
+// replay) it makes a killed tuning job resumable bit-identically.
+type Checkpoint struct {
+	Units        int         `json:"units"`
+	Warmed       int         `json:"warmed"`
+	Picks        int         `json:"picks"`
+	History      [][]float64 `json:"history"`
+	SinceImprove []int       `json:"since_improve"`
+	CostCurve    []float64   `json:"cost_curve"`
+}
+
+// Checkpoint snapshots the scheduler's gradient state. The snapshot is
+// deep-copied: later allocations do not mutate it.
+func (s *Scheduler) Checkpoint() *Checkpoint {
+	c := &Checkpoint{
+		Units:        s.Units,
+		Warmed:       s.warmed,
+		Picks:        s.picks,
+		History:      make([][]float64, len(s.history)),
+		SinceImprove: append([]int(nil), s.sinceImprove...),
+		CostCurve:    append([]float64(nil), s.CostCurve...),
+	}
+	for i, h := range s.history {
+		c.History[i] = append([]float64(nil), h...)
+	}
+	return c
+}
+
+// Marshal serializes the checkpoint as JSON. Infinities (tasks whose
+// best latency never materialized) round-trip as the string "inf".
+func (c *Checkpoint) Marshal() ([]byte, error) { return json.Marshal(infToString(c)) }
+
+// UnmarshalCheckpoint parses a checkpoint serialized by Marshal.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	var raw jsonCheckpoint
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("sched: unmarshal checkpoint: %w", err)
+	}
+	return stringToInf(&raw)
+}
+
+// jsonCheckpoint mirrors Checkpoint with infinity-safe float encoding
+// (encoding/json rejects +Inf).
+type jsonCheckpoint struct {
+	Units        int                 `json:"units"`
+	Warmed       int                 `json:"warmed"`
+	Picks        int                 `json:"picks"`
+	History      [][]json.RawMessage `json:"history"`
+	SinceImprove []int               `json:"since_improve"`
+	CostCurve    []json.RawMessage   `json:"cost_curve"`
+}
+
+func numOf(v float64) json.RawMessage {
+	if math.IsInf(v, 1) {
+		return json.RawMessage(`"inf"`)
+	}
+	if math.IsInf(v, -1) {
+		return json.RawMessage(`"-inf"`)
+	}
+	b, _ := json.Marshal(v)
+	return json.RawMessage(b)
+}
+
+func floatOf(raw json.RawMessage) (float64, error) {
+	var v float64
+	if err := json.Unmarshal(raw, &v); err == nil {
+		return v, nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return 0, fmt.Errorf("neither number nor string: %s", raw)
+	}
+	switch s {
+	case "inf":
+		return math.Inf(1), nil
+	case "-inf":
+		return math.Inf(-1), nil
+	}
+	return 0, fmt.Errorf("unknown float string %q", s)
+}
+
+func infToString(c *Checkpoint) *jsonCheckpoint {
+	out := &jsonCheckpoint{
+		Units: c.Units, Warmed: c.Warmed, Picks: c.Picks,
+		SinceImprove: c.SinceImprove,
+	}
+	for _, h := range c.History {
+		row := make([]json.RawMessage, len(h))
+		for i, v := range h {
+			row[i] = numOf(v)
+		}
+		out.History = append(out.History, row)
+	}
+	for _, v := range c.CostCurve {
+		out.CostCurve = append(out.CostCurve, numOf(v))
+	}
+	return out
+}
+
+func stringToInf(raw *jsonCheckpoint) (*Checkpoint, error) {
+	c := &Checkpoint{
+		Units: raw.Units, Warmed: raw.Warmed, Picks: raw.Picks,
+		SinceImprove: raw.SinceImprove,
+	}
+	for _, row := range raw.History {
+		h := make([]float64, len(row))
+		for i, n := range row {
+			v, err := floatOf(n)
+			if err != nil {
+				return nil, fmt.Errorf("sched: unmarshal checkpoint: %w", err)
+			}
+			h[i] = v
+		}
+		c.History = append(c.History, h)
+	}
+	for _, n := range raw.CostCurve {
+		v, err := floatOf(n)
+		if err != nil {
+			return nil, fmt.Errorf("sched: unmarshal checkpoint: %w", err)
+		}
+		c.CostCurve = append(c.CostCurve, v)
+	}
+	return c, nil
+}
+
+// Restore loads a checkpoint into a freshly constructed scheduler (same
+// tasks, objective, options and seed as the checkpointed one) whose
+// Tuners have already been brought back to their checkpointed state
+// (e.g. by replaying the tuning log through their policies). The rng is
+// fast-forwarded by replaying the recorded ε-greedy decision sequence,
+// so subsequent picks continue exactly where the original run would
+// have gone.
+func (s *Scheduler) Restore(c *Checkpoint) error {
+	if s.Units != 0 || s.picks != 0 {
+		return fmt.Errorf("sched: restore into a used scheduler (%d units allocated)", s.Units)
+	}
+	if len(c.History) != len(s.Tasks) {
+		return fmt.Errorf("sched: checkpoint has %d tasks, scheduler has %d", len(c.History), len(s.Tasks))
+	}
+	if len(c.SinceImprove) != len(s.Tasks) {
+		return fmt.Errorf("sched: checkpoint sinceImprove has %d tasks, scheduler has %d", len(c.SinceImprove), len(s.Tasks))
+	}
+	if c.Warmed > len(s.Tasks) || c.Units < c.Warmed {
+		return fmt.Errorf("sched: corrupt checkpoint (units=%d warmed=%d)", c.Units, c.Warmed)
+	}
+	s.Units = c.Units
+	s.warmed = c.Warmed
+	s.history = make([][]float64, len(c.History))
+	for i, h := range c.History {
+		s.history[i] = append([]float64(nil), h...)
+	}
+	s.sinceImprove = append([]int(nil), c.SinceImprove...)
+	s.CostCurve = append([]float64(nil), c.CostCurve...)
+	// Replay the rng draws pick-for-pick: each gradient pick consumes
+	// one Float64 and, iff it fell below ε, one Intn over the task
+	// count. This reproduces the exact source consumption of the
+	// original run without persisting rng internals.
+	n := len(s.Tasks)
+	for i := 0; i < c.Picks; i++ {
+		if s.rng.Float64() < s.Opts.EpsGreedy {
+			s.rng.Intn(n)
+		}
+	}
+	s.picks = c.Picks
+	return nil
+}
+
+// VerifyReplay checks that a scheduler which re-ran from scratch (the
+// replay-resume path: cached measurements, same seed and options) passed
+// exactly through the checkpointed state — same allocation histories,
+// convergence counters and objective curve as a prefix of the current
+// run. A mismatch means the determinism contract was broken (changed
+// seed, options, task set, or log) and resumed output cannot be trusted
+// to extend the original run.
+func (s *Scheduler) VerifyReplay(c *Checkpoint) error {
+	if s.Units < c.Units {
+		return fmt.Errorf("sched: replay stopped at %d units, checkpoint has %d", s.Units, c.Units)
+	}
+	if len(c.History) != len(s.Tasks) {
+		return fmt.Errorf("sched: checkpoint has %d tasks, scheduler has %d", len(c.History), len(s.Tasks))
+	}
+	for i, want := range c.History {
+		got := s.history[i]
+		if len(got) < len(want) {
+			return fmt.Errorf("sched: task %d replayed %d allocations, checkpoint has %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] && !(math.IsInf(got[j], 1) && math.IsInf(want[j], 1)) {
+				return fmt.Errorf("sched: task %d allocation %d diverged: %g vs checkpointed %g", i, j, got[j], want[j])
+			}
+		}
+	}
+	if len(s.CostCurve) < len(c.CostCurve) {
+		return fmt.Errorf("sched: replay cost curve has %d points, checkpoint has %d", len(s.CostCurve), len(c.CostCurve))
+	}
+	for j, want := range c.CostCurve {
+		got := s.CostCurve[j]
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			return fmt.Errorf("sched: cost curve point %d diverged: %g vs checkpointed %g", j, got, want)
+		}
+	}
+	return nil
+}

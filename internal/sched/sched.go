@@ -214,6 +214,10 @@ type Scheduler struct {
 	Units int
 	// warmed tracks round-robin warm-up progress across Run calls.
 	warmed int
+	// picks counts gradient-descent pick() decisions, i.e. how many
+	// ε-greedy draws the rng has made; Restore fast-forwards a fresh rng
+	// by replaying exactly this sequence (see Checkpoint).
+	picks int
 	// CostCurve records the objective after every allocation.
 	CostCurve []float64
 }
@@ -335,6 +339,7 @@ func (s *Scheduler) pick() int {
 	if s.Opts.RoundRobin {
 		return s.Units % n
 	}
+	s.picks++
 	if s.rng.Float64() < s.Opts.EpsGreedy {
 		return s.rng.Intn(n)
 	}

@@ -16,6 +16,8 @@
 package xgb
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
@@ -307,6 +309,38 @@ func (c *CostModel) Score(stmts [][]float64) float64 {
 		}
 	}
 	return s
+}
+
+// Fingerprint returns an FNV-1a hash over the complete ensemble
+// structure (tree shapes, split features/thresholds, leaf values). Two
+// models score every input identically iff their fingerprints match, so
+// the persistence layer's determinism checks can assert that a resumed
+// search retrained to the exact model of an uninterrupted run. The
+// untrained model hashes to a fixed value.
+func (c *CostModel) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	trees := c.snapshot()
+	w64(uint64(len(trees)))
+	for _, t := range trees {
+		w64(uint64(len(t.nodes)))
+		for _, n := range t.nodes {
+			if n.leaf {
+				w64(^uint64(0))
+				w64(math.Float64bits(n.value))
+				continue
+			}
+			w64(uint64(n.feature))
+			w64(math.Float64bits(n.threshold))
+			w64(uint64(n.left))
+			w64(uint64(n.right))
+		}
+	}
+	return h.Sum64()
 }
 
 // ScoreStmt returns the per-statement score (used by node-based crossover

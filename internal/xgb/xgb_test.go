@@ -139,3 +139,34 @@ func TestDeterministicTraining(t *testing.T) {
 		}
 	}
 }
+
+func TestFingerprintIdentifiesEnsembles(t *testing.T) {
+	m := NewCostModel(DefaultOpts())
+	empty := m.Fingerprint()
+	if empty != NewCostModel(DefaultOpts()).Fingerprint() {
+		t.Error("untrained fingerprints must match")
+	}
+	progs, y := synth(300, 1)
+	m.Fit(progs, y)
+	trained := m.Fingerprint()
+	if trained == empty {
+		t.Error("training must change the fingerprint")
+	}
+	// Identical training runs (any worker count) hash identically.
+	for _, workers := range []int{1, 8} {
+		o := DefaultOpts()
+		o.Workers = workers
+		m2 := NewCostModel(o)
+		m2.Fit(progs, y)
+		if m2.Fingerprint() != trained {
+			t.Errorf("workers=%d: fingerprint diverged", workers)
+		}
+	}
+	// Different data trains a different ensemble.
+	progs2, y2 := synth(300, 2)
+	m3 := NewCostModel(DefaultOpts())
+	m3.Fit(progs2, y2)
+	if m3.Fingerprint() == trained {
+		t.Error("different training data should change the fingerprint")
+	}
+}
