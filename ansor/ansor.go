@@ -24,7 +24,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/measure"
 	"repro/internal/policy"
-	"repro/internal/registry"
+	"repro/internal/regserver"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/sketch"
@@ -136,10 +136,33 @@ type TuningOptions struct {
 	// round one) and costs no trials for the replayed programs.
 	WarmStartFrom string
 	// ApplyHistoryBest skips searching entirely: the best recorded
-	// schedule for (workload, target) in this log/registry file is
-	// replayed with zero measurement trials. Tune returns an error if
-	// the file has no entry for the task.
+	// schedule for (workload, target) in this log/registry file — or,
+	// when set to an http(s) URL, on that registry server — is replayed
+	// with zero measurement trials. Tune returns an error if the source
+	// has no entry for the task.
 	ApplyHistoryBest string
+	// RegistryURL connects the run to a shared registry server
+	// (ansor-registry): every fresh successful measurement is published
+	// there in addition to RecordTo, and a resumed run first seeds the
+	// server with its log's existing records (cached replays never
+	// re-record, so the tee alone would miss them). Publishing is
+	// passive — it never changes search results — and a run that
+	// publishes to a server accumulates exactly the records a local
+	// RecordTo log would, so
+	// applying best from the server is bit-identical to applying best
+	// from the local registry path (DESIGN.md, "Registry service").
+	// Publish failures surface through Tuner.Close / TuneNetwork's
+	// error, like tuning-log write failures.
+	RegistryURL string
+	// CheckpointPath persists the task scheduler's gradient state
+	// (sched.Checkpoint) for network tuning: TuneNetwork writes the
+	// checkpoint here after the run, and — when ResumeFrom is set and
+	// the file exists — verifies on resume that the replayed run passed
+	// exactly through the checkpointed state (sched.VerifyReplay), so
+	// option or workload drift is an error instead of silent
+	// corruption. Ignored by single-task tuners, which have no
+	// scheduler state beyond the log itself.
+	CheckpointPath string
 }
 
 func (o *TuningOptions) defaults() {
@@ -182,12 +205,25 @@ type Tuner struct {
 }
 
 // attachPersistence wires a measurer to the options' record/resume
-// files. It returns the open log sink (nil when not recording); the
-// caller owns closing it.
+// files and, when RegistryURL is set, tees every fresh record to the
+// registry server. It returns the open log sink (nil when not
+// recording); the caller owns closing it.
 func attachPersistence(ms *measure.Measurer, opts TuningOptions) (*os.File, error) {
 	rec, cache, f, err := measure.OpenPersistence(opts.RecordTo, opts.ResumeFrom)
 	if err != nil {
 		return nil, fmt.Errorf("ansor: %w", err)
+	}
+	if opts.RegistryURL != "" {
+		// Seed the server with the records already on disk: a resumed
+		// run replays them from cache without re-recording, so the tee
+		// alone would leave a fresh server missing the replayed prefix.
+		rec, err = regserver.AttachRecorder(rec, opts.RegistryURL, opts.ResumeFrom, opts.RecordTo)
+		if err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return nil, fmt.Errorf("ansor: registry %s: %w", opts.RegistryURL, err)
+		}
 	}
 	ms.Recorder = rec
 	ms.Cache = cache
@@ -267,9 +303,10 @@ func (t *Tuner) Tune() (Program, error) {
 }
 
 // ApplyBest replays the best recorded schedule for this task from the
-// options' ApplyHistoryBest file without spending any measurement.
+// options' ApplyHistoryBest source (log/registry file or registry
+// server URL) without spending any measurement.
 func (t *Tuner) ApplyBest() (Program, error) {
-	reg, err := registry.LoadFile(t.opts.ApplyHistoryBest)
+	reg, err := regserver.LoadRegistry(t.opts.ApplyHistoryBest)
 	if err != nil {
 		return Program{}, fmt.Errorf("ansor: apply history best: %w", err)
 	}
@@ -428,11 +465,41 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 	sopts := sched.DefaultOptions()
 	sopts.Workers = opts.Workers
 	s := sched.New(tuners, sched.F1{DNNs: []sched.DNN{dnn}}, sopts)
+	// A resumed run re-executes from round one with cached measurements;
+	// the checkpoint written by the interrupted run lets us VERIFY the
+	// replay passed through exactly the recorded state instead of
+	// trusting determinism blindly (drifted options, workloads, or logs
+	// become errors here).
+	var verifyAgainst *sched.Checkpoint
+	meta := checkpointMeta(net, target, opts)
+	if opts.CheckpointPath != "" && opts.ResumeFrom != "" {
+		prevMeta, prevSched, err := loadCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return NetworkResult{}, err
+		}
+		if prevMeta != nil {
+			if err := prevMeta.verifyMeta(meta); err != nil {
+				return NetworkResult{}, fmt.Errorf("ansor: resume %s: %w", opts.CheckpointPath, err)
+			}
+			verifyAgainst = prevSched
+		}
+	}
 	units := opts.Trials * len(tuners) / opts.MeasuresPerRound
 	if units < len(tuners) {
 		units = len(tuners)
 	}
 	s.Run(units)
+	if verifyAgainst != nil {
+		if err := s.VerifyReplay(verifyAgainst); err != nil {
+			return NetworkResult{}, fmt.Errorf("ansor: resume %s: replay diverged from checkpoint (options, workload, or log drift): %w",
+				opts.CheckpointPath, err)
+		}
+	}
+	if opts.CheckpointPath != "" {
+		if err := writeCheckpoint(opts.CheckpointPath, meta, s); err != nil {
+			return NetworkResult{}, err
+		}
+	}
 	res := NetworkResult{TaskLatencies: map[string]float64{}, Trials: ms.Trials()}
 	g := make([]float64, len(tuners))
 	for i, t := range tuners {
@@ -463,7 +530,7 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 // recorded schedule; missing tasks are reported by name so the caller
 // knows what still needs tuning.
 func applyNetworkBest(net Network, target Target, path string) (NetworkResult, error) {
-	reg, err := registry.LoadFile(path)
+	reg, err := regserver.LoadRegistry(path)
 	if err != nil {
 		return NetworkResult{}, fmt.Errorf("ansor: apply history best: %w", err)
 	}

@@ -10,6 +10,8 @@
 //	ansor-bench -exp fig6 -log bench.json          # record all measurements
 //	ansor-bench -exp fig6 -resume bench.json       # replay logged work for free
 //	ansor-bench -apply-best bench.json             # inspect the registry and exit
+//	ansor-bench -exp fig6 -registry-url http://127.0.0.1:8421   # publish to a shared registry
+//	ansor-bench -apply-best http://127.0.0.1:8421  # inspect a registry server and exit
 package main
 
 import (
@@ -19,7 +21,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/measure"
-	"repro/internal/registry"
+	"repro/internal/regserver"
 )
 
 func main() {
@@ -34,12 +36,20 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
 		logTo     = flag.String("log", "", "append every fresh measurement to this tuning log (one JSON record per line)")
 		resume    = flag.String("resume", "", "serve measurements recorded in this log instead of re-measuring (implies -log to the same file unless -log is set)")
-		applyBest = flag.String("apply-best", "", "print the best recorded schedule per (workload, target) in this log and exit")
+		applyBest = flag.String("apply-best", "", "print the best recorded schedule per (workload, target) and exit; takes a log/registry file, a registry server URL, or the literal 'registry' for the -registry-url server")
+		regURL    = flag.String("registry-url", "", "publish every fresh measurement to this ansor-registry server so experiment runs feed the shared registry")
 	)
 	flag.Parse()
 
+	if *applyBest == "registry" {
+		if *regURL == "" {
+			fmt.Fprintln(os.Stderr, "ansor-bench: -apply-best registry needs -registry-url")
+			os.Exit(2)
+		}
+		*applyBest = *regURL
+	}
 	if *applyBest != "" {
-		reg, err := registry.LoadFile(*applyBest)
+		reg, err := regserver.LoadRegistry(*applyBest)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ansor-bench: %v\n", err)
 			os.Exit(1)
@@ -76,13 +86,19 @@ func main() {
 	}
 	cfg.Recorder = recorder
 	cfg.Cache = cache
-	// closeLog flushes the tuning log and reports whether it is intact;
-	// a log with dropped records must fail the process, or scripts would
-	// resume from a silently truncated file.
+	cfg.RegistryURL = *regURL
+	if err := cfg.ConnectRegistry(*logTo, *resume); err != nil {
+		fmt.Fprintf(os.Stderr, "ansor-bench: registry %s: %v\n", *regURL, err)
+		os.Exit(1)
+	}
+	// closeLog flushes the tuning log (and any registry publishing) and
+	// reports whether it is intact; a log with dropped records must fail
+	// the process, or scripts would resume from a silently truncated
+	// file.
 	closeLog := func() bool {
 		ok := true
-		if recorder != nil {
-			if err := recorder.Err(); err != nil {
+		if cfg.Recorder != nil {
+			if err := cfg.Recorder.Err(); err != nil {
 				fmt.Fprintf(os.Stderr, "ansor-bench: tuning log: %v\n", err)
 				ok = false
 			}

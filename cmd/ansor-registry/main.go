@@ -1,0 +1,117 @@
+// Command ansor-registry serves one shared best-schedule registry to
+// many concurrent tuning jobs: `ansor-tune -registry-url` publishes
+// every fresh measurement here, and `-apply-best` can serve schedules
+// straight from the accumulated database (see DESIGN.md, "Registry
+// service").
+//
+// Examples:
+//
+//	ansor-registry serve -addr 127.0.0.1:8421 -store registry.json
+//	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421
+//	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -apply-best registry
+//	ansor-bench -apply-best http://127.0.0.1:8421   # print the server's registry
+//
+// The store file is append-durable: every record that improves the
+// registry is appended immediately (the measure.Recorder semantics of
+// tuning logs), and a periodic snapshot compacts the file to the
+// current best set. Shutdown on SIGINT/SIGTERM is graceful: in-flight
+// requests drain and a final snapshot is written.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/regserver"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "ansor-registry: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI; main only maps its error to an exit code and
+// wires OS signals into ctx, so tests drive the server in-process.
+// onReady, when non-nil, receives the bound address once the server is
+// listening.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady func(addr string)) (err error) {
+	if len(args) > 0 && args[0] == "serve" {
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("ansor-registry serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr  = fs.String("addr", "127.0.0.1:8421", "address to listen on")
+		store = fs.String("store", "registry.json", "durable store: improving records append here immediately; snapshots compact it to the best set (empty = in-memory only)")
+		every = fs.Duration("snapshot-every", 30*time.Second, "interval between compacting snapshots of the store")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Bind the address before touching the store: a bad -addr must not
+	// create (or later snapshot-truncate) the store file.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	var srv *regserver.Server
+	if *store != "" {
+		if srv, err = regserver.Open(*store); err != nil {
+			return err
+		}
+	} else {
+		srv = regserver.New(nil)
+	}
+	// One Close for every exit path: it writes the final snapshot, so
+	// its error must reach the caller.
+	defer func() {
+		if cerr := srv.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "ansor-registry: listening on %s (store %q, %d keys)\n",
+		ln.Addr(), *store, srv.Registry().Len())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := srv.Snapshot(); err != nil {
+				fmt.Fprintf(stderr, "ansor-registry: %v\n", err)
+			}
+		case err := <-serveErr:
+			return err
+		case <-ctx.Done():
+			fmt.Fprintf(stdout, "ansor-registry: shutting down (%d keys)\n", srv.Registry().Len())
+			shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			return nil
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/measure"
+	"repro/internal/regserver"
+)
+
+// syncBuffer lets the server goroutine write stdout while the test
+// reads it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startServe runs the serve command in-process on an ephemeral port and
+// returns its base URL plus a shutdown function that waits for the
+// graceful exit (final snapshot included).
+func startServe(t *testing.T, extra ...string) (string, *syncBuffer, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	out := &syncBuffer{}
+	errCh := make(chan error, 1)
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	go func() {
+		errCh <- run(ctx, args, out, out, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, out, func() error {
+			cancel()
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(10 * time.Second):
+				return context.DeadlineExceeded
+			}
+		}
+	case err := <-errCh:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+	panic("unreachable")
+}
+
+func TestServeGracefulShutdownAndStore(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "registry.json")
+	url, out, shutdown := startServe(t, "-store", store, "-snapshot-every", "1h")
+
+	cl := regserver.NewClient(url)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i >= 1; i-- {
+		if _, err := cl.Add(measure.Record{
+			Task: "op", Target: "cpu", DAG: "d",
+			Steps:   []byte(`[{"i":` + string(rune('0'+i)) + `}]`),
+			Seconds: float64(i), Noiseless: float64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing lifecycle output:\n%s", out.String())
+	}
+
+	// The final snapshot compacted the store to the best set.
+	l, err := measure.LoadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != 1 || l.Records[0].Seconds != 1 {
+		t.Fatalf("store should hold exactly the best record, got %+v", l.Records)
+	}
+
+	// A restart serves the persisted registry.
+	url2, _, shutdown2 := startServe(t, "-store", store, "-snapshot-every", "1h")
+	defer shutdown2()
+	reg, err := regserver.NewClient(url2).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best, ok := reg.Best("op", "cpu", "d"); !ok || best.Seconds != 1 {
+		t.Fatalf("restarted server lost the registry: %+v ok=%v", best, ok)
+	}
+}
+
+func TestServePeriodicSnapshot(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "registry.json")
+	url, _, shutdown := startServe(t, "-store", store, "-snapshot-every", "50ms")
+	defer shutdown()
+	cl := regserver.NewClient(url)
+	for i := 5; i >= 1; i-- {
+		if _, err := cl.Add(measure.Record{
+			Task: "op", Target: "cpu", DAG: "d",
+			Steps:   []byte(`[{"i":` + string(rune('0'+i)) + `}]`),
+			Seconds: float64(i), Noiseless: float64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Within a few ticks the store must compact to one line while the
+	// server keeps running.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l, err := measure.LoadFile(store)
+		if err == nil && len(l.Records) == 1 && l.Records[0].Seconds == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store never compacted: %v (err=%v)", l, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The registry stays intact and appendable after compaction.
+	if _, err := cl.Add(measure.Record{
+		Task: "op2", Target: "cpu", DAG: "d", Steps: []byte(`[]`), Seconds: 2, Noiseless: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := regserver.NewClient(url).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("want 2 keys after post-snapshot add, got %d", reg.Len())
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"serve", "-not-a-flag"}, &out, &out, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+	store := filepath.Join(t.TempDir(), "registry.json")
+	if err := run(context.Background(), []string{"serve", "-addr", "256.0.0.1:bad", "-store", store}, &out, &out, nil); err == nil {
+		t.Error("bad address accepted")
+	}
+	// A failed bind must not touch the store.
+	if _, err := os.Stat(store); !os.IsNotExist(err) {
+		t.Errorf("bad -addr should not create the store file: %v", err)
+	}
+}

@@ -9,6 +9,8 @@
 //	ansor-tune -workload GMM.s1 -log tune.json          # record the tuning log
 //	ansor-tune -workload GMM.s1 -resume tune.json       # continue a killed run
 //	ansor-tune -workload GMM.s1 -apply-best tune.json   # serve the best schedule, zero trials
+//	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421         # publish to a shared registry
+//	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -apply-best registry
 //	ansor-tune -list
 package main
 
@@ -47,7 +49,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		logTo     = fs.String("log", "", "append measurement records to this tuning log (one JSON record per line)")
 		resume    = fs.String("resume", "", "resume from this tuning log: logged programs replay without re-measuring; with the same seed/options the run is bit-identical to an uninterrupted one (implies -log to the same file unless -log is set)")
 		warmStart = fs.String("warm-start", "", "seed the cost model and best pool from this log's records before the first round")
-		applyBest = fs.String("apply-best", "", "skip searching: replay the best recorded schedule for the workload/network from this log with zero trials")
+		applyBest = fs.String("apply-best", "", "skip searching: replay the best recorded schedule for the workload/network with zero trials; takes a log/registry file, a registry server URL, or the literal 'registry' for the -registry-url server")
+		regURL    = fs.String("registry-url", "", "publish every fresh measurement to this ansor-registry server (e.g. http://127.0.0.1:8421) so concurrent tuning jobs accumulate one shared registry")
 		list      = fs.Bool("list", false, "list available workloads and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,10 +89,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// next resume picks up where this one stops.
 		*logTo = *resume
 	}
+	if *applyBest == "registry" {
+		if *regURL == "" {
+			return fmt.Errorf("-apply-best registry needs -registry-url")
+		}
+		*applyBest = *regURL
+	}
 	opts := ansor.TuningOptions{
 		Trials: *trials, MeasuresPerRound: *perRound, Seed: *seed, Workers: *workers,
 		RecordTo: *logTo, ResumeFrom: *resume,
 		WarmStartFrom: *warmStart, ApplyHistoryBest: *applyBest,
+		RegistryURL: *regURL,
+	}
+	if *logTo != "" {
+		// The scheduler checkpoint lives beside the log so a network
+		// resume can verify (not just trust) that options and workloads
+		// did not drift; single-task tuning ignores it.
+		opts.CheckpointPath = *logTo + ".ckpt"
 	}
 
 	switch {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/measure"
 	"repro/internal/policy"
+	"repro/internal/regserver"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/sketch"
@@ -47,6 +48,29 @@ type Config struct {
 	// re-run of a figure replays its logged work instead of re-measuring
 	// (the resume path; see DESIGN.md, "Persistence layer").
 	Cache *measure.MeasuredSet
+	// RegistryURL names a shared ansor-registry server; ConnectRegistry
+	// wires it into the Recorder so every fresh measurement of the
+	// experiments also publishes there. Publishing is passive: figures
+	// are bit-identical with or without it.
+	RegistryURL string
+}
+
+// ConnectRegistry attaches the config's RegistryURL to its Recorder
+// (creating an in-memory recorder when none is set), so every fresh
+// measurement of the experiments publishes to the shared registry
+// server. seedLogs name existing log files (e.g. the -log/-resume
+// files) to upload first, so a resumed experiment's server still holds
+// the replayed records. No-op without a RegistryURL.
+func (c *Config) ConnectRegistry(seedLogs ...string) error {
+	if c.RegistryURL == "" {
+		return nil
+	}
+	rec, err := regserver.AttachRecorder(c.Recorder, c.RegistryURL, seedLogs...)
+	if err != nil {
+		return err
+	}
+	c.Recorder = rec
+	return nil
 }
 
 // measurer builds a measurer wired to the config's worker setting and

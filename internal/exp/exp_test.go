@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"net/http/httptest"
 	"testing"
 
+	"repro/internal/measure"
+	"repro/internal/regserver"
 	"repro/internal/workloads"
 )
 
@@ -126,6 +129,109 @@ func TestTuneNetworksSharedTasks(t *testing.T) {
 	if r.Latencies[0] != r.Latencies[1] {
 		t.Errorf("shared-task networks should have equal latency: %g vs %g",
 			r.Latencies[0], r.Latencies[1])
+	}
+}
+
+// TestNetCurveResumeXAxis pins the Figure-10 x-axis under resume: the
+// curve plots policy-local trial counts, so a fully cached re-run walks
+// the same x-range as the fresh run instead of collapsing to x=0 (the
+// measurer's fresh-trial counter is legitimately 0 there).
+func TestNetCurveResumeXAxis(t *testing.T) {
+	nets := []workloads.Network{workloads.DCGAN(1)}
+	plat := IntelPlatform(true)
+
+	cfg := tinyConfig()
+	cfg.Trials = 8
+	cfg.PerRound = 4
+	rec := measure.NewRecorder(nil)
+	cfg.Recorder = rec
+	fresh := TuneNetworks(nets, plat, cfg, VariantAnsor, cfg.Trials)
+	if fresh.Trials == 0 || fresh.PolicyTrials != fresh.Trials {
+		t.Fatalf("fresh run: fresh=%d policy-local=%d; a cold run spends its whole budget fresh",
+			fresh.Trials, fresh.PolicyTrials)
+	}
+
+	resumedCfg := tinyConfig()
+	resumedCfg.Trials = 8
+	resumedCfg.PerRound = 4
+	cache := measure.NewMeasuredSet()
+	cache.AddLog(rec.Log())
+	resumedCfg.Cache = cache
+	resumed := TuneNetworks(nets, plat, resumedCfg, VariantAnsor, resumedCfg.Trials)
+
+	if resumed.Trials != 0 {
+		t.Errorf("fully cached re-run should cost 0 fresh trials, cost %d", resumed.Trials)
+	}
+	if resumed.PolicyTrials != fresh.PolicyTrials {
+		t.Errorf("policy-local budget diverged under resume: fresh %d vs resumed %d",
+			fresh.PolicyTrials, resumed.PolicyTrials)
+	}
+	if len(resumed.Curve) != len(fresh.Curve) {
+		t.Fatalf("curve length diverged: fresh %d vs resumed %d", len(fresh.Curve), len(resumed.Curve))
+	}
+	for i := range fresh.Curve {
+		if fresh.Curve[i].Trials != resumed.Curve[i].Trials {
+			t.Fatalf("curve x-axis diverged at point %d: fresh %d vs resumed %d (resume must not collapse the x-axis)",
+				i, fresh.Curve[i].Trials, resumed.Curve[i].Trials)
+		}
+		for j := range fresh.Curve[i].Latencies {
+			if fresh.Curve[i].Latencies[j] != resumed.Curve[i].Latencies[j] {
+				t.Fatalf("curve y diverged at point %d: resume must be bit-identical", i)
+			}
+		}
+	}
+	if last := fresh.Curve[len(fresh.Curve)-1].Trials; last == 0 {
+		t.Fatal("final curve point has x=0; the x-axis carries no budget information")
+	}
+}
+
+// TestConnectRegistry wires a config to a registry server and checks
+// that an experiment's fresh measurements land there — and that the
+// figures themselves are unchanged by publishing (it is passive).
+func TestConnectRegistry(t *testing.T) {
+	srv := regserver.New(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	cfg := tinyConfig()
+	cfg.Trials = 4
+	cfg.PerRound = 4
+	cfg.RegistryURL = hs.URL
+	if err := cfg.ConnectRegistry(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Recorder == nil {
+		t.Fatal("ConnectRegistry should create a recorder when none is set")
+	}
+	nets := []workloads.Network{workloads.DCGAN(1)}
+	published := TuneNetworks(nets, IntelPlatform(true), cfg, VariantAnsor, cfg.Trials)
+	if srv.Registry().Len() == 0 {
+		t.Fatal("experiment measurements never reached the registry server")
+	}
+
+	plain := tinyConfig()
+	plain.Trials = 4
+	plain.PerRound = 4
+	baseline := TuneNetworks(nets, IntelPlatform(true), plain, VariantAnsor, plain.Trials)
+	if published.Latencies[0] != baseline.Latencies[0] {
+		t.Errorf("publishing changed the result: %g vs %g", published.Latencies[0], baseline.Latencies[0])
+	}
+
+	// Every key the server holds came from this run's tasks.
+	taskNames := map[string]bool{}
+	for _, task := range nets[0].Tasks {
+		taskNames[task.Name] = true
+	}
+	for _, k := range srv.Registry().Keys() {
+		if !taskNames[k.Workload] {
+			t.Errorf("unexpected workload on server: %q", k.Workload)
+		}
+	}
+
+	bad := tinyConfig()
+	bad.RegistryURL = "http://127.0.0.1:1"
+	if err := bad.ConnectRegistry(); err == nil {
+		t.Error("unreachable registry should fail ConnectRegistry")
 	}
 }
 

@@ -38,7 +38,11 @@ func Fig10Panel(cfg Config, nets []workloads.Network, refBudgetFactor int) Fig10
 	}
 	ref := TuneNetworks(nets, plat, cfg, VariantAutoTVM, cfg.Trials*refBudgetFactor)
 
-	res := Fig10Result{AutoTVMTrials: ref.Trials, Curves: map[NetVariant]Fig10Curve{}}
+	// The reference budget and every curve's x-axis use policy-local
+	// trial counts (fresh + cache-served): a resumed or fully cached
+	// re-run then reports the same budgets and x-ranges as a fresh run
+	// instead of collapsing to zero.
+	res := Fig10Result{AutoTVMTrials: ref.PolicyTrials, Curves: map[NetVariant]Fig10Curve{}}
 	for _, n := range nets {
 		res.Networks = append(res.Networks, n.Name)
 	}

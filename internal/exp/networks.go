@@ -23,6 +23,12 @@ const (
 
 // NetCurvePoint is one point of a network tuning curve.
 type NetCurvePoint struct {
+	// Trials is the policy-local trial count: the sum of every task
+	// policy's own budget spent so far, counting cache-served
+	// measurements. Unlike the measurer's fresh-trial counter it is
+	// resume-invariant — a fully cached re-run walks the same x-axis as
+	// the original run instead of collapsing to x=0 — so curves stay
+	// comparable across fresh and resumed runs.
 	Trials    int
 	Latencies []float64 // per DNN (end-to-end, Σ w_i g_i); +Inf before warm-up
 }
@@ -32,7 +38,12 @@ type NetTuneResult struct {
 	Networks  []string
 	Latencies []float64 // final per-DNN latency
 	Curve     []NetCurvePoint
-	Trials    int
+	// Trials counts fresh measurements only (cache hits are free): the
+	// honest cost of THIS run.
+	Trials int
+	// PolicyTrials is the total policy-local budget spent (fresh +
+	// cache-served), the x-axis unit of Curve.
+	PolicyTrials int
 }
 
 // TuneNetworks tunes a set of DNNs with the task scheduler (§6). Tasks
@@ -106,6 +117,16 @@ func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 	for _, net := range nets {
 		res.Networks = append(res.Networks, net.Name)
 	}
+	// policyTrials sums each task policy's own trial counter, which
+	// counts cache-served measurements too — the resume-invariant
+	// x-axis of the tuning curve.
+	policyTrials := func() int {
+		n := 0
+		for _, t := range tuners {
+			n += t.(*policyTuner).p.Trials
+		}
+		return n
+	}
 	// Step wave by wave to record the curve: warm-up and round-robin
 	// waves keep their internal parallelism, and wave boundaries depend
 	// only on scheduler state, so the curve is identical for any worker
@@ -119,7 +140,7 @@ func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 		for j, d := range dnns {
 			lats[j] = d.Latency(g)
 		}
-		res.Curve = append(res.Curve, NetCurvePoint{Trials: ms.Trials(), Latencies: lats})
+		res.Curve = append(res.Curve, NetCurvePoint{Trials: policyTrials(), Latencies: lats})
 	}
 	if len(res.Curve) > 0 {
 		res.Latencies = res.Curve[len(res.Curve)-1].Latencies
@@ -130,6 +151,7 @@ func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 		}
 	}
 	res.Trials = ms.Trials()
+	res.PolicyTrials = policyTrials()
 	return res
 }
 

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -96,15 +97,37 @@ func (ms *MeasuredSet) Len() int {
 type Recorder struct {
 	mu   sync.Mutex
 	w    io.Writer
+	tee  io.Writer
 	log  Log
 	seen map[setKey]struct{}
-	err  error
+	// err and teeErr latch the first failure of each sink
+	// independently: a sick registry server must not stop the durable
+	// log file from receiving records, and vice versa.
+	err    error
+	teeErr error
 }
 
 // NewRecorder returns a recorder streaming to w (nil keeps the log
 // in-memory only).
 func NewRecorder(w io.Writer) *Recorder {
 	return &Recorder{w: w, seen: map[setKey]struct{}{}}
+}
+
+// Tee adds a secondary streaming sink: every subsequently recorded
+// record is also written to w (one JSON line per record, the same
+// framing as the primary sink). The registry-service wiring uses this
+// to publish a tuning run's fresh measurements to a server while the
+// durable log file keeps receiving them. The sinks fail independently:
+// a failing tee latches its own first error (surfaced through Err)
+// without stopping either the tuning run or the primary log sink.
+func (r *Recorder) Tee(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tee == nil {
+		r.tee = w
+		return
+	}
+	r.tee = io.MultiWriter(r.tee, w)
 }
 
 // MarkSeen pre-seeds the dedupe set (without re-writing the records),
@@ -128,20 +151,43 @@ func (r *Recorder) Record(rec Record) (bool, error) {
 	if len(rec.Steps) > 0 {
 		k := setKey{rec.Target, rec.Task, rec.DAG, string(rec.Steps)}
 		if _, ok := r.seen[k]; ok {
-			return false, r.err
+			return false, r.firstErrLocked()
 		}
 		r.seen[k] = struct{}{}
 	}
 	r.log.Records = append(r.log.Records, rec)
-	if r.w != nil && r.err == nil {
+	if r.w != nil || r.tee != nil {
+		var line bytes.Buffer
 		one := Log{Records: []Record{rec}}
-		if err := one.Save(r.w); err != nil {
-			// Keep tuning if the sink fails; surface the first error to
-			// whoever closes the run.
-			r.err = err
+		if err := one.Save(&line); err != nil {
+			if r.err == nil {
+				r.err = err
+			}
+			return true, r.firstErrLocked()
+		}
+		// Keep tuning if a sink fails; each sink latches its own first
+		// error (surfaced to whoever closes the run) so a sick registry
+		// server cannot starve the durable log file, or vice versa.
+		if r.w != nil && r.err == nil {
+			if _, err := r.w.Write(line.Bytes()); err != nil {
+				r.err = err
+			}
+		}
+		if r.tee != nil && r.teeErr == nil {
+			if _, err := r.tee.Write(line.Bytes()); err != nil {
+				r.teeErr = err
+			}
 		}
 	}
-	return true, r.err
+	return true, r.firstErrLocked()
+}
+
+// firstErrLocked returns the primary sink's first error, else the tee's.
+func (r *Recorder) firstErrLocked() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.teeErr
 }
 
 // Log returns a snapshot of everything recorded so far.
@@ -153,11 +199,12 @@ func (r *Recorder) Log() *Log {
 	return out
 }
 
-// Err returns the first write error encountered by the streaming sink.
+// Err returns the first write error encountered by any streaming sink
+// (the primary sink's first error wins over the tee's).
 func (r *Recorder) Err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.err
+	return r.firstErrLocked()
 }
 
 // OpenPersistence wires the file-backed persistence of one run: a

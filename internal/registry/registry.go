@@ -43,20 +43,47 @@ func New() *Registry {
 	return &Registry{best: map[Key]measure.Record{}}
 }
 
+// accepts reports whether a record is valid registry material at all.
+// Shared by Add and Improves, which must never drift apart: the
+// registry service persists exactly the records Add accepts.
+func accepts(rec measure.Record) bool {
+	return rec.Task != "" && rec.Seconds > 0
+}
+
+// beats reports whether the challenger strictly improves on the
+// incumbent (ties keep the incumbent).
+func beats(incumbent, challenger measure.Record) bool {
+	return challenger.Seconds < incumbent.Seconds
+}
+
 // Add offers one record; it is kept only if it beats the current best
 // for its key. Reports whether the entry improved.
 func (r *Registry) Add(rec measure.Record) bool {
-	if rec.Task == "" || rec.Seconds <= 0 {
+	if !accepts(rec) {
 		return false
 	}
 	k := Key{rec.Task, rec.Target, rec.DAG}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if cur, ok := r.best[k]; ok && cur.Seconds <= rec.Seconds {
+	if cur, ok := r.best[k]; ok && !beats(cur, rec) {
 		return false
 	}
 	r.best[k] = rec
 	return true
+}
+
+// Improves reports whether Add would accept the record: a valid record
+// strictly better than the current best for its key. Callers that need
+// check-then-act atomicity (e.g. persist-before-add durability) must
+// serialize their writers externally.
+func (r *Registry) Improves(rec measure.Record) bool {
+	if !accepts(rec) {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cur, ok := r.best[Key{rec.Task, rec.Target, rec.DAG}]
+	return !ok || beats(cur, rec)
 }
 
 // AddLog offers every record of a log and returns how many improved a

@@ -1,0 +1,76 @@
+package regserver_test
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/ansor"
+	"repro/internal/registry"
+	"repro/internal/regserver"
+	"repro/internal/workloads"
+)
+
+// benchRegistry tunes one small task for real and returns the registry
+// holding its best schedule, so both ApplyBest paths replay a genuine
+// program.
+func benchRegistry(b *testing.B) (*registry.Registry, ansor.Task) {
+	b.Helper()
+	var dag *ansor.DAG
+	for _, w := range workloads.SingleOps(1) {
+		if w.Key == "GMM.s1" {
+			dag = w.Build()
+		}
+	}
+	if dag == nil {
+		b.Fatal("GMM.s1 not found")
+	}
+	task := ansor.NewTask("GMM.s1", dag, ansor.TargetIntelCPU(false))
+	logFile := filepath.Join(b.TempDir(), "log.json")
+	tuner, err := ansor.NewTuner(task, ansor.TuningOptions{
+		Trials: 16, MeasuresPerRound: 8, Seed: 5, RecordTo: logFile,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tuner.Tune(); err != nil {
+		b.Fatal(err)
+	}
+	if err := tuner.Close(); err != nil {
+		b.Fatal(err)
+	}
+	reg, err := registry.LoadFile(logFile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reg, task
+}
+
+// BenchmarkApplyBest compares serving a best schedule from the
+// in-process registry against the registry service over loopback HTTP:
+// the latency cost of sharing the database across tuning jobs. CI
+// uploads the two numbers as the BENCH_pr3.json artifact.
+func BenchmarkApplyBest(b *testing.B) {
+	reg, task := benchRegistry(b)
+	target := task.Target.Machine.Name
+
+	b.Run("source=inprocess", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := reg.ApplyBest(task.Name, target, task.DAG); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("source=server", func(b *testing.B) {
+		srv := regserver.New(reg)
+		hs := httptest.NewServer(srv.Handler())
+		defer hs.Close()
+		cl := regserver.NewClient(hs.URL)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cl.ApplyBest(task.Name, target, task.DAG); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

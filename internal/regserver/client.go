@@ -1,0 +1,292 @@
+package regserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/measure"
+	"repro/internal/registry"
+	"repro/internal/te"
+)
+
+// Client talks to a registry server, mirroring the in-process
+// registry.Registry API (Add/Best/BestFor/ApplyBest/Keys/Len plus
+// Snapshot and Merge) with an added error return per call: the network
+// is allowed to fail where process memory is not.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8421"). A trailing slash is tolerated.
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// IsURL reports whether src names a registry server rather than a file:
+// everywhere a registry file path is accepted, an http(s) URL selects
+// the service instead.
+func IsURL(src string) bool {
+	return strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://")
+}
+
+// LoadRegistry builds a registry from src: a tuning-log/registry file
+// path, or — when src is an http(s) URL — a server's full snapshot. Both
+// yield the same per-key best set for the same records, so callers can
+// treat the result identically (the determinism contract of DESIGN.md's
+// "Registry service").
+func LoadRegistry(src string) (*registry.Registry, error) {
+	if IsURL(src) {
+		return NewClient(src).Snapshot()
+	}
+	return registry.LoadFile(src)
+}
+
+// AttachRecorder wires a recorder to the registry server at url: the
+// server is pinged (a misspelled URL fails fast, before any tuning
+// work), a nil recorder is replaced by a fresh in-memory one, and the
+// server becomes a tee sink — every subsequently recorded measurement
+// publishes there, with failures surfacing through Recorder.Err
+// without stopping the run or the recorder's primary log sink. Both
+// the ansor tuner and the experiment harness attach through here.
+//
+// seedLogs name existing tuning-log files (empty paths and missing
+// files are skipped) whose records are uploaded before publishing
+// begins. Resumed runs must pass their resume/record logs here: cached
+// replays never re-enter the recorder, so without the seed upload a
+// fresh server would only ever see the continuation's records and the
+// server-vs-local-log equivalence would break. The upload is an
+// idempotent merge — re-seeding the same log is harmless.
+func AttachRecorder(rec *measure.Recorder, url string, seedLogs ...string) (*measure.Recorder, error) {
+	cl := NewClient(url)
+	if err := cl.Ping(); err != nil {
+		return nil, err
+	}
+	seeded := map[string]bool{}
+	for _, path := range seedLogs {
+		// Callers routinely pass RecordTo and ResumeFrom, which the
+		// resume flow points at the same file; upload each path once.
+		if path == "" || seeded[path] {
+			continue
+		}
+		seeded[path] = true
+		l, err := measure.LoadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("regserver: seed %s: %w", path, err)
+		}
+		if len(l.Records) == 0 {
+			continue
+		}
+		if _, err := cl.AddLog(l); err != nil {
+			return nil, fmt.Errorf("regserver: seed %s: %w", path, err)
+		}
+	}
+	if rec == nil {
+		rec = measure.NewRecorder(nil)
+	}
+	rec.Tee(cl.RecordWriter())
+	return rec, nil
+}
+
+// errorOf decodes the server's {"error": ...} payload.
+func errorOf(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("regserver: %s", e.Error)
+	}
+	return fmt.Errorf("regserver: server returned %s", resp.Status)
+}
+
+// Ping checks the server is reachable and speaks the registry API.
+func (c *Client) Ping() error {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("regserver: ping %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("regserver: ping %s: %s", c.base, resp.Status)
+	}
+	return nil
+}
+
+// post uploads a record batch body and decodes the AddResult.
+func (c *Client) post(body []byte) (AddResult, error) {
+	resp, err := c.hc.Post(c.base+"/v1/records", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		return AddResult{}, fmt.Errorf("regserver: publish to %s: %w", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return AddResult{}, errorOf(resp)
+	}
+	defer resp.Body.Close()
+	var res AddResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return AddResult{}, fmt.Errorf("regserver: publish to %s: %w", c.base, err)
+	}
+	return res, nil
+}
+
+// Add offers one record to the server; reports whether it improved a
+// key (registry.Registry.Add over the wire).
+func (c *Client) Add(rec measure.Record) (bool, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return false, fmt.Errorf("regserver: encode record: %w", err)
+	}
+	res, err := c.post(body)
+	if err != nil {
+		return false, err
+	}
+	return res.Improved > 0, nil
+}
+
+// AddLog offers every record of a log; returns how many improved a key.
+func (c *Client) AddLog(l *measure.Log) (int, error) {
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		return 0, err
+	}
+	res, err := c.post(buf.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return res.Improved, nil
+}
+
+// Merge folds a whole registry into the server (its best set uploads as
+// a record batch); returns how many keys improved.
+func (c *Client) Merge(r *registry.Registry) (int, error) {
+	return c.AddLog(r.Log())
+}
+
+// Best returns the server's fastest record for (workload, target, dag),
+// with the same legacy fallback as registry.Best. ok is false when the
+// server has no entry; err reports transport or server failures.
+func (c *Client) Best(workload, target, dag string) (measure.Record, bool, error) {
+	q := url.Values{"workload": {workload}, "target": {target}, "dag": {dag}}
+	u := c.base + "/v1/best?" + q.Encode()
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return measure.Record{}, false, fmt.Errorf("regserver: best from %s: %w", c.base, err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		return measure.Record{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return measure.Record{}, false, errorOf(resp)
+	}
+	defer resp.Body.Close()
+	var rec measure.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return measure.Record{}, false, fmt.Errorf("regserver: best from %s: %w", c.base, err)
+	}
+	return rec, true, nil
+}
+
+// BestFor is Best keyed by the computation itself.
+func (c *Client) BestFor(workload, target string, dag *te.DAG) (measure.Record, bool, error) {
+	return c.Best(workload, target, measure.DAGFingerprint(dag))
+}
+
+// ApplyBest replays the server's best schedule for the workload's
+// computation on the target, returning the program and its recorded
+// time without spending any measurement trial — the remote counterpart
+// of registry.ApplyBest, with the replay done client-side (only the
+// client holds the DAG).
+func (c *Client) ApplyBest(workload, target string, dag *te.DAG) (*ir.State, float64, error) {
+	rec, ok, err := c.BestFor(workload, target, dag)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, 0, fmt.Errorf("regserver: no schedule recorded for workload %q (this shape) on target %q", workload, target)
+	}
+	s, err := rec.Replay(dag)
+	if err != nil {
+		return nil, 0, fmt.Errorf("regserver: replay %q on %q: %w", workload, target, err)
+	}
+	return s, rec.Seconds, nil
+}
+
+// Keys returns every key the server holds, in the registry's sorted
+// order.
+func (c *Client) Keys() ([]registry.Key, error) {
+	resp, err := c.hc.Get(c.base + "/v1/keys")
+	if err != nil {
+		return nil, fmt.Errorf("regserver: keys from %s: %w", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorOf(resp)
+	}
+	defer resp.Body.Close()
+	var keys []registry.Key
+	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
+		return nil, fmt.Errorf("regserver: keys from %s: %w", c.base, err)
+	}
+	return keys, nil
+}
+
+// Len returns the number of keys the server holds.
+func (c *Client) Len() (int, error) {
+	keys, err := c.Keys()
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// Snapshot downloads the server's full best set as an in-process
+// registry: records arrive verbatim (raw steps, exact float
+// round-trip), so the result is bit-identical to a registry built
+// locally from the same records.
+func (c *Client) Snapshot() (*registry.Registry, error) {
+	resp, err := c.hc.Get(c.base + "/v1/snapshot")
+	if err != nil {
+		return nil, fmt.Errorf("regserver: snapshot from %s: %w", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorOf(resp)
+	}
+	defer resp.Body.Close()
+	l, err := measure.Load(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("regserver: snapshot from %s: %w", c.base, err)
+	}
+	r := registry.New()
+	r.AddLog(l)
+	return r, nil
+}
+
+// RecordWriter returns an io.Writer that publishes everything written
+// to it as a record batch: wiring it as a measure.Recorder sink (see
+// Recorder.Tee) streams every fresh measurement of a tuning run to the
+// server with the recorder's own append-durable semantics. Each Write
+// must carry whole JSON lines, which is exactly how the recorder
+// writes.
+func (c *Client) RecordWriter() io.Writer { return &recordWriter{c: c} }
+
+type recordWriter struct{ c *Client }
+
+func (w *recordWriter) Write(p []byte) (int, error) {
+	if _, err := w.c.post(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}

@@ -1,0 +1,278 @@
+// Package regserver turns internal/registry into a shared service: an
+// HTTP facade over one accumulating best-schedule database that many
+// concurrent tuning jobs feed and query (ROADMAP's "registry as a
+// service"). The paper's auto-scheduler amortizes search cost only when
+// tuned schedules are reused; a process-local registry caps that reuse
+// at one process. The server accepts tuning records from any number of
+// publishers (last-writer-wins on better noiseless time, per key),
+// answers best-schedule queries for concurrent readers, and persists
+// its state with the same append-durable semantics as tuning logs
+// (measure.Recorder): every improving record is appended to the store
+// file immediately, and periodic snapshots compact the file to the
+// current best set.
+//
+// Determinism contract: the server stores records verbatim (the JSON
+// float encoding round-trips float64 exactly, and steps are kept as raw
+// JSON), and selection is the same per-key minimum registry.Registry
+// applies in process — so a best schedule served over HTTP is
+// bit-identical to one served from a local registry built from the same
+// records. See DESIGN.md, "Registry service".
+package regserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/internal/measure"
+	"repro/internal/registry"
+)
+
+// maxBody bounds one request body (a record batch or merged log).
+const maxBody = 64 << 20
+
+// Server is the HTTP facade over one registry. All handlers are safe
+// for concurrent use: the registry has its own RWMutex (concurrent
+// readers), and durable appends serialize on the server's mutex.
+type Server struct {
+	reg *registry.Registry
+	mux *http.ServeMux
+
+	// mu guards the durability state below; the in-memory registry is
+	// internally synchronized and never held under mu.
+	mu        sync.Mutex
+	storePath string
+	appendF   *os.File
+}
+
+// New returns a server over an existing registry (nil = a fresh empty
+// one) with no durable store: state lives in memory only (tests,
+// ephemeral caches).
+func New(reg *registry.Registry) *Server {
+	if reg == nil {
+		reg = registry.New()
+	}
+	s := &Server{reg: reg}
+	s.routes()
+	return s
+}
+
+// Open builds a server whose registry is loaded from storePath (a
+// tuning-log/registry file; missing file = empty registry) and kept
+// durable: improving records append to the file immediately, and
+// Snapshot/Close compact it to the current best set.
+func Open(storePath string) (*Server, error) {
+	reg, err := registry.LoadFile(storePath)
+	if err != nil {
+		return nil, fmt.Errorf("regserver: open store %s: %w", storePath, err)
+	}
+	s := New(reg)
+	s.storePath = storePath
+	if err := s.openAppend(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// openAppend (re)opens the store file for appending. Callers hold s.mu
+// or have exclusive access.
+func (s *Server) openAppend() error {
+	f, err := os.OpenFile(s.storePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("regserver: open store %s: %w", s.storePath, err)
+	}
+	s.appendF = f
+	return nil
+}
+
+// Registry exposes the underlying registry (shared, concurrency-safe).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Handler returns the HTTP handler serving the registry API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// addDurably offers one record: if it improves its key it is appended
+// to the store file as one JSON line — durable immediately, like a
+// tuning log's recorder sink — and only then made visible in the
+// registry. Persist-before-add matters for the retry path: a record
+// whose append failed (the publisher got a 5xx) must not be in the
+// registry, or the publisher's retry would look like a tie, skip
+// persistence, and get a 200 for a record durable nowhere. All writers
+// serialize on s.mu; the store needs no dedupe of its own, because
+// registry.Improves IS the dedupe (an improving record is appended
+// even if an equal program was seen before).
+func (s *Server) addDurably(rec measure.Record) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.reg.Improves(rec) {
+		return false, nil
+	}
+	if s.storePath != "" {
+		if s.appendF == nil {
+			// A snapshot failed to reopen the store; refuse rather than
+			// silently accept records that would not survive a restart
+			// (the next snapshot tick retries the reopen).
+			return false, fmt.Errorf("store %s is not open", s.storePath)
+		}
+		one := measure.Log{Records: []measure.Record{rec}}
+		if err := one.Save(s.appendF); err != nil {
+			return false, err
+		}
+	}
+	s.reg.Add(rec)
+	return true, nil
+}
+
+// Snapshot compacts the store file to the registry's current best set:
+// the snapshot is written to a temporary file and atomically renamed
+// over the store, so a crash mid-snapshot leaves the previous
+// append-durable file intact. No-op without a store.
+func (s *Server) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.storePath == "" {
+		return nil
+	}
+	tmp := s.storePath + ".tmp"
+	if err := s.reg.SaveFile(tmp); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("regserver: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.storePath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("regserver: snapshot: %w", err)
+	}
+	if s.appendF != nil {
+		s.appendF.Close() // descriptor points at the replaced file
+		// Clear it before reopening: if openAppend fails, later
+		// publishes must see "no store" rather than write into a closed
+		// descriptor.
+		s.appendF = nil
+	}
+	return s.openAppend()
+}
+
+// Close writes a final snapshot and releases the store file.
+func (s *Server) Close() error {
+	err := s.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.appendF != nil {
+		if cerr := s.appendF.Close(); err == nil {
+			err = cerr
+		}
+		s.appendF = nil
+	}
+	return err
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/records", s.handleRecords)
+	s.mux.HandleFunc("/v1/merge", s.handleRecords) // a merge IS a record batch
+	s.mux.HandleFunc("/v1/best", s.handleBest)
+	s.mux.HandleFunc("/v1/keys", s.handleKeys)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "keys": s.reg.Len()})
+}
+
+// AddResult is the response to a record/merge upload.
+type AddResult struct {
+	// Offered is how many records the body contained.
+	Offered int `json:"offered"`
+	// Improved is how many of them improved a key (a later writer wins
+	// only with a strictly better time; ties keep the incumbent).
+	Improved int `json:"improved"`
+	// Keys is the registry size after the upload.
+	Keys int `json:"keys"`
+}
+
+// handleRecords ingests a batch of tuning records: the body is a tuning
+// log in either format measure.Load accepts (line-oriented records or a
+// legacy {"records": [...]} object), so `ansor-tune -log` files, registry
+// snapshots, and single streamed records all upload unmodified.
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a record batch to %s", r.URL.Path)
+		return
+	}
+	l, err := measure.Load(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		// MaxBytesReader turns an oversize body into a parse error here
+		// rather than silently truncating the batch.
+		writeError(w, http.StatusBadRequest, "parse records: %v", err)
+		return
+	}
+	res := AddResult{Offered: len(l.Records)}
+	for _, rec := range l.Records {
+		improved, err := s.addDurably(rec)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "persist: %v", err)
+			return
+		}
+		if improved {
+			res.Improved++
+		}
+	}
+	res.Keys = s.reg.Len()
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleBest serves the fastest record for (workload, target, dag) with
+// the same legacy fallback as registry.Best. The caller replays the
+// steps on its own DAG (the server never needs the computation itself).
+func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET %s", r.URL.Path)
+		return
+	}
+	q := r.URL.Query()
+	workload := q.Get("workload")
+	if workload == "" {
+		writeError(w, http.StatusBadRequest, "missing workload parameter")
+		return
+	}
+	rec, ok := s.reg.Best(workload, q.Get("target"), q.Get("dag"))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"no schedule recorded for workload %q (this shape) on target %q", workload, q.Get("target"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET %s", r.URL.Path)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.Keys())
+}
+
+// handleSnapshot streams the registry's best records in the
+// line-oriented log format, so the download is directly usable as an
+// ApplyHistoryBest file or another server's store.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET %s", r.URL.Path)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.reg.Log().Save(w)
+}
