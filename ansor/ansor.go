@@ -29,6 +29,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sketch"
 	"repro/internal/te"
+	"repro/internal/warm"
 	"repro/internal/workloads"
 )
 
@@ -129,11 +130,20 @@ type TuningOptions struct {
 	// layer"). Typically set together with RecordTo pointing at the same
 	// file so the continuation keeps appending.
 	ResumeFrom string
-	// WarmStartFrom replays a log's records for this task into the cost
-	// model's training data and the best-k pool before the first round —
-	// the search starts informed instead of blind. Unlike ResumeFrom
-	// this deliberately changes the trajectory (a better model from
-	// round one) and costs no trials for the replayed programs.
+	// WarmStartFrom seeds each task's cost model and best-k pool from
+	// accumulated tuning history before the first round — the search
+	// starts informed instead of blind. It accepts the same source forms
+	// as ApplyHistoryBest, comma-separated for a merged warm start: a
+	// tuning-log/registry file path, an http(s) registry-server URL
+	// (which pulls only the task-filtered slice of fleet history via the
+	// server's query endpoint), or the literal "registry" for the
+	// RegistryURL server. Records measured on this target replay at full
+	// weight; records from a sibling target (e.g. avx2 ↔ avx512) enter
+	// only the model's training data, time-calibrated and discounted —
+	// never the best-k pool, so measured bests stay honest (see
+	// internal/warm). Unlike ResumeFrom this deliberately changes the
+	// trajectory (a better model from round one) and costs no trials for
+	// the replayed programs.
 	WarmStartFrom string
 	// ApplyHistoryBest skips searching entirely: the best recorded
 	// schedule for (workload, target) in this log/registry file — or,
@@ -230,6 +240,35 @@ func attachPersistence(ms *measure.Measurer, opts TuningOptions) (*os.File, erro
 	return f, nil
 }
 
+// openWarmSource resolves the options' WarmStartFrom spec (file path,
+// server URL, literal "registry", or a comma-separated mix) into a warm
+// source; nil without error when no warm start was requested.
+func openWarmSource(opts TuningOptions) (warm.Source, error) {
+	if opts.WarmStartFrom == "" {
+		return nil, nil
+	}
+	src, err := warm.Open(opts.WarmStartFrom, opts.RegistryURL)
+	if err != nil {
+		return nil, fmt.Errorf("ansor: warm start from %s: %w", opts.WarmStartFrom, err)
+	}
+	return src, nil
+}
+
+// warmStartPolicy fetches, prepares and absorbs one task's warm-start
+// records. Replay failures are errors: a warm-start source from a
+// drifted workload definition should fail loudly, like ApplyHistoryBest
+// does, instead of silently starting cold.
+func warmStartPolicy(pol *policy.Policy, src warm.Source, taskName, targetName string) error {
+	recs, err := warm.Records(src, taskName, targetName)
+	if err != nil {
+		return fmt.Errorf("ansor: warm start task %s: %w", taskName, err)
+	}
+	if _, err := pol.WarmStartWeighted(recs); err != nil {
+		return fmt.Errorf("ansor: warm start task %s: %w", taskName, err)
+	}
+	return nil
+}
+
 // NewTuner builds a tuner; it constructs the task's search space (sketch
 // generation) eagerly and fails if the DAG is invalid.
 func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
@@ -240,6 +279,14 @@ func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 	if err != nil {
 		return nil, err
 	}
+	cleanup := func() {
+		if ms.Recorder != nil {
+			ms.Recorder.Close()
+		}
+		if f != nil {
+			f.Close()
+		}
+	}
 	popts := policy.DefaultOptions()
 	popts.Seed = opts.Seed
 	popts.Workers = opts.Workers
@@ -247,36 +294,30 @@ func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 		Name: task.Name, DAG: task.DAG, Target: task.Target.Space, Weight: task.Weight,
 	}, popts, ms, opts.CustomRules...)
 	if err != nil {
-		if f != nil {
-			f.Close()
-		}
+		cleanup()
 		return nil, fmt.Errorf("ansor: %w", err)
 	}
-	if opts.WarmStartFrom != "" {
-		log, err := measure.LoadFile(opts.WarmStartFrom)
-		if err != nil {
-			if f != nil {
-				f.Close()
-			}
-			return nil, fmt.Errorf("ansor: warm start from %s: %w", opts.WarmStartFrom, err)
-		}
-		if _, err := pol.WarmStart(log.Records); err != nil {
-			if f != nil {
-				f.Close()
-			}
-			return nil, fmt.Errorf("ansor: warm start from %s: %w", opts.WarmStartFrom, err)
+	warmSrc, err := openWarmSource(opts)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	if warmSrc != nil {
+		if err := warmStartPolicy(pol, warmSrc, task.Name, task.Target.Machine.Name); err != nil {
+			cleanup()
+			return nil, err
 		}
 	}
 	return &Tuner{task: task, opts: opts, pol: pol, measurer: ms, logFile: f}, nil
 }
 
-// Close flushes and closes the tuning log (if RecordTo was set) and
-// reports the first write error the recorder hit. Safe to call on a
-// tuner that never recorded.
+// Close flushes and closes the tuning log (if RecordTo was set), flushes
+// any batched registry publishing, and reports the first write/publish
+// error the recorder hit. Safe to call on a tuner that never recorded.
 func (t *Tuner) Close() error {
 	var err error
 	if t.measurer.Recorder != nil {
-		err = t.measurer.Recorder.Err()
+		err = t.measurer.Recorder.Close()
 	}
 	if t.logFile != nil {
 		if cerr := t.logFile.Close(); err == nil {
@@ -425,15 +466,16 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 		return NetworkResult{}, err
 	}
 	defer func() {
+		if ms.Recorder != nil {
+			ms.Recorder.Close()
+		}
 		if logFile != nil {
 			logFile.Close()
 		}
 	}()
-	var warm *measure.Log
-	if opts.WarmStartFrom != "" {
-		if warm, err = measure.LoadFile(opts.WarmStartFrom); err != nil {
-			return NetworkResult{}, fmt.Errorf("ansor: warm start from %s: %w", opts.WarmStartFrom, err)
-		}
+	warmSrc, err := openWarmSource(opts)
+	if err != nil {
+		return NetworkResult{}, err
 	}
 	var tuners []sched.Tuner
 	var dnn sched.DNN
@@ -450,9 +492,9 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 		if err != nil {
 			return NetworkResult{}, fmt.Errorf("ansor: task %s: %w", task.Name, err)
 		}
-		if warm != nil {
-			if _, err := p.WarmStart(warm.Records); err != nil {
-				return NetworkResult{}, fmt.Errorf("ansor: warm start task %s: %w", task.Name, err)
+		if warmSrc != nil {
+			if err := warmStartPolicy(p, warmSrc, task.Name, target.Machine.Name); err != nil {
+				return NetworkResult{}, err
 			}
 		}
 		pols = append(pols, p)
@@ -511,7 +553,10 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 		return res, fmt.Errorf("ansor: some tasks were never measured; increase Trials")
 	}
 	if ms.Recorder != nil {
-		if err := ms.Recorder.Err(); err != nil {
+		// Close (not just Err) flushes any batched registry publishing;
+		// it is idempotent, so the deferred close for early-error paths
+		// stays harmless.
+		if err := ms.Recorder.Close(); err != nil {
 			return res, fmt.Errorf("ansor: tuning log: %w", err)
 		}
 	}

@@ -1,0 +1,184 @@
+package ansor
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/regserver"
+)
+
+// warmOutcome is everything the determinism contract compares.
+type warmOutcome struct {
+	preFP   uint64 // model fingerprint right after warm start, before round 1
+	outcome tuneOutcome
+}
+
+func runWarmTune(t *testing.T, target Target, seed int64, trials, workers int, warmFrom string) warmOutcome {
+	t.Helper()
+	tuner, err := NewTuner(NewTask("mm", persistDAG(t), target), TuningOptions{
+		Trials: trials, MeasuresPerRound: 16, Seed: seed, Workers: workers,
+		WarmStartFrom: warmFrom,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := warmOutcome{preFP: tuner.ModelFingerprint()}
+	best, err := tuner.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out.outcome = tuneOutcome{
+		sig:      best.State.Signature(),
+		seconds:  best.Seconds,
+		modelFP:  tuner.ModelFingerprint(),
+		measured: tuner.Trials(),
+	}
+	for _, h := range tuner.History() {
+		out.outcome.history = append(out.outcome.history, struct {
+			trials int
+			best   float64
+		}{h.Trials, h.BestTime})
+	}
+	return out
+}
+
+// TestWarmFileVsServerBitIdentical is the tentpole determinism proof:
+// warm-starting from a file and from a registry server holding the very
+// same records yields bit-identical tuning runs — equal model
+// fingerprints before round one, equal history curves, equal bests —
+// at any worker count.
+func TestWarmFileVsServerBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	seedLog := filepath.Join(dir, "seed.json")
+	target := TargetIntelCPU(true)
+	runPersistTune(t, 32, 0, seedLog, "")
+
+	// One server accumulates the log; its best set, saved to a file, is
+	// the same record set the server's query serves.
+	srv := regserver.New(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	l, err := measure.LoadFile(seedLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := regserver.NewClient(hs.URL)
+	if _, err := cl.AddLog(l); err != nil {
+		t.Fatal(err)
+	}
+	snapFile := filepath.Join(dir, "snapshot.json")
+	reg, err := regserver.LoadRegistry(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SaveFile(snapFile); err != nil {
+		t.Fatal(err)
+	}
+
+	fromFile := runWarmTune(t, target, 11, 32, 0, snapFile)
+	if fromFile.preFP == 0 {
+		t.Log("note: pre-tune fingerprint is the untrained hash only if warm start absorbed nothing")
+	}
+	for _, workers := range []int{0, 1, 8} {
+		fromServer := runWarmTune(t, target, 11, 32, workers, hs.URL)
+		if fromServer.preFP != fromFile.preFP {
+			t.Errorf("workers=%d: warm-started models diverged before round 1: %x vs %x",
+				workers, fromServer.preFP, fromFile.preFP)
+		}
+		if fromServer.outcome.sig != fromFile.outcome.sig ||
+			fromServer.outcome.seconds != fromFile.outcome.seconds ||
+			fromServer.outcome.modelFP != fromFile.outcome.modelFP {
+			t.Errorf("workers=%d: warm-from-server run diverged from warm-from-file", workers)
+		}
+		if len(fromServer.outcome.history) != len(fromFile.outcome.history) {
+			t.Fatalf("workers=%d: history lengths diverged: %d vs %d",
+				workers, len(fromServer.outcome.history), len(fromFile.outcome.history))
+		}
+		for i := range fromServer.outcome.history {
+			if fromServer.outcome.history[i] != fromFile.outcome.history[i] {
+				t.Errorf("workers=%d: history[%d] diverged", workers, i)
+			}
+		}
+	}
+
+	// The warm start absorbed real history: the model is trained before
+	// the first round (a cold tuner's pre-tune fingerprint differs).
+	cold := runWarmTune(t, target, 11, 32, 0, "")
+	if cold.preFP == fromFile.preFP {
+		t.Error("warm-started pre-tune model should differ from the cold untrained model")
+	}
+}
+
+// TestCrossTargetWarmStart: a job on avx512 warm-started purely from
+// avx2 history (sibling target) is deterministic at any worker count,
+// absorbs the records as train-only (no inherited best), and — the §5.2
+// transfer claim at reproduction scale — does not degrade the final
+// best versus a cold start on a majority of seeds.
+func TestCrossTargetWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	avx2Log := filepath.Join(dir, "avx2.json")
+
+	// Build sibling history on avx2.
+	tuner, err := NewTuner(NewTask("mm", persistDAG(t), TargetIntelCPU(false)), TuningOptions{
+		Trials: 32, MeasuresPerRound: 16, Seed: 5, RecordTo: avx2Log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tuner.Tune(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	target := TargetIntelCPU(true)
+	base := runWarmTune(t, target, 21, 32, 1, avx2Log)
+	if base.preFP == runWarmTune(t, target, 21, 0, 1, "").preFP && base.preFP == 0 {
+		t.Fatal("cross-target warm start absorbed nothing")
+	}
+	// Transferred records never claim a best: before round one the best
+	// time must still be unset (train-only pool exclusion). History
+	// starts at the first round's own measurements.
+	warmTuner, err := NewTuner(NewTask("mm", persistDAG(t), target), TuningOptions{
+		Trials: 16, Seed: 21, WarmStartFrom: avx2Log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warmTuner.Best(); err == nil {
+		t.Error("sibling-target records must not enter the best pool before any native measurement")
+	}
+
+	// Deterministic at any worker count.
+	for _, workers := range []int{4, 8} {
+		got := runWarmTune(t, target, 21, 32, workers, avx2Log)
+		if got.preFP != base.preFP || got.outcome.sig != base.outcome.sig ||
+			got.outcome.seconds != base.outcome.seconds || got.outcome.modelFP != base.outcome.modelFP {
+			t.Errorf("workers=%d: cross-target warm start is nondeterministic", workers)
+		}
+	}
+
+	// Majority-of-seeds: warm never degrades the final best vs cold.
+	if testing.Short() {
+		return // the full-budget seed sweep runs in the non-short suite
+	}
+	wins := 0
+	seeds := []int64{21, 22, 23}
+	for _, seed := range seeds {
+		cold := runWarmTune(t, target, seed, 48, 0, "")
+		warm := runWarmTune(t, target, seed, 48, 0, avx2Log)
+		t.Logf("seed %d: cold %.4g warm %.4g", seed, cold.outcome.seconds, warm.outcome.seconds)
+		if warm.outcome.seconds <= cold.outcome.seconds {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Errorf("cross-target warm start degraded the final best on %d/%d seeds", len(seeds)-wins, len(seeds))
+	}
+}

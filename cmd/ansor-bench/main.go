@@ -38,6 +38,7 @@ func main() {
 		resume    = flag.String("resume", "", "serve measurements recorded in this log instead of re-measuring (implies -log to the same file unless -log is set)")
 		applyBest = flag.String("apply-best", "", "print the best recorded schedule per (workload, target) and exit; takes a log/registry file, a registry server URL, or the literal 'registry' for the -registry-url server")
 		regURL    = flag.String("registry-url", "", "publish every fresh measurement to this ansor-registry server so experiment runs feed the shared registry")
+		warmStart = flag.String("warm-start", "", "warm-start the Ansor runs (baselines stay cold) from tuning history: a log/registry file, a registry server URL (task-filtered fleet history), the literal 'registry' for the -registry-url server, or a comma-separated mix; NOTE this deliberately changes Ansor's results, unlike -resume")
 	)
 	flag.Parse()
 
@@ -91,6 +92,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ansor-bench: registry %s: %v\n", *regURL, err)
 		os.Exit(1)
 	}
+	cfg.WarmStart = *warmStart
+	if err := cfg.ConnectWarmStart(); err != nil {
+		fmt.Fprintf(os.Stderr, "ansor-bench: warm start %s: %v\n", *warmStart, err)
+		os.Exit(1)
+	}
 	// closeLog flushes the tuning log (and any registry publishing) and
 	// reports whether it is intact; a log with dropped records must fail
 	// the process, or scripts would resume from a silently truncated
@@ -98,7 +104,9 @@ func main() {
 	closeLog := func() bool {
 		ok := true
 		if cfg.Recorder != nil {
-			if err := cfg.Recorder.Err(); err != nil {
+			// Close flushes batched registry publishing before reporting
+			// the first error either sink latched.
+			if err := cfg.Recorder.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "ansor-bench: tuning log: %v\n", err)
 				ok = false
 			}

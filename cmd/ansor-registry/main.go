@@ -7,9 +7,12 @@
 // Examples:
 //
 //	ansor-registry serve -addr 127.0.0.1:8421 -store registry.json
+//	ansor-registry compact -store registry.json -top-k 10   # bound a long-lived store/log
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -apply-best registry
+//	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -warm-start registry
 //	ansor-bench -apply-best http://127.0.0.1:8421   # print the server's registry
+//	curl http://127.0.0.1:8421/metrics              # registry health
 //
 // The store file is append-durable: every record that improves the
 // registry is appended immediately (the measure.Recorder semantics of
@@ -28,9 +31,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/measure"
 	"repro/internal/regserver"
 )
 
@@ -44,13 +49,75 @@ func main() {
 }
 
 // run is the whole CLI; main only maps its error to an exit code and
-// wires OS signals into ctx, so tests drive the server in-process.
+// wires OS signals into ctx, so tests drive the binary in-process.
 // onReady, when non-nil, receives the bound address once the server is
 // listening.
-func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady func(addr string)) (err error) {
-	if len(args) > 0 && args[0] == "serve" {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady func(addr string)) error {
+	verb := "serve"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		verb = args[0]
 		args = args[1:]
 	}
+	switch verb {
+	case "serve":
+		return runServe(ctx, args, stdout, stderr, onReady)
+	case "compact":
+		return runCompact(args, stdout, stderr)
+	default:
+		return fmt.Errorf("unknown verb %q (want serve or compact)", verb)
+	}
+}
+
+// runCompact bounds a store/log file in place: per (workload, target,
+// shape) it keeps the top-k fastest records plus a deterministic
+// training-representative sample of the tail (measure.Log.Compact),
+// written with the same temp+rename discipline as server snapshots so
+// a crash mid-compact never loses the original.
+//
+// Compact is an OFFLINE verb: never run it against the store of a live
+// `ansor-registry serve` — the rename would replace the file under the
+// server's open append descriptor, and records the server acknowledges
+// afterwards would land in the unlinked inode (lost on restart). A
+// running server already bounds its own store via periodic snapshots;
+// compact exists for archived stores and plain tuning logs.
+func runCompact(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ansor-registry compact", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		store = fs.String("store", "registry.json", "store or tuning-log file to compact in place (OFFLINE only: stop any server using this file first — compacting under a live server loses its later appends)")
+		topK  = fs.Int("top-k", 10, "records kept per (workload, target, shape): the k fastest plus up to k training-representative samples of the tail")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *topK <= 0 {
+		return fmt.Errorf("compact: -top-k must be positive, got %d", *topK)
+	}
+	if _, err := os.Stat(*store); err != nil {
+		// Unlike tuning resume, compacting a missing file is a mistake,
+		// not a cold start.
+		return fmt.Errorf("compact: %w", err)
+	}
+	l, err := measure.LoadFile(*store)
+	if err != nil {
+		return fmt.Errorf("compact %s: %w", *store, err)
+	}
+	c := l.Compact(*topK)
+	tmp := *store + ".tmp"
+	if err := c.SaveFile(tmp); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("compact %s: %w", *store, err)
+	}
+	if err := os.Rename(tmp, *store); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("compact %s: %w", *store, err)
+	}
+	fmt.Fprintf(stdout, "ansor-registry: compacted %s: %d -> %d records (top-%d per workload/target/shape)\n",
+		*store, len(l.Records), len(c.Records), *topK)
+	return nil
+}
+
+func runServe(ctx context.Context, args []string, stdout, stderr io.Writer, onReady func(addr string)) (err error) {
 	fs := flag.NewFlagSet("ansor-registry serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

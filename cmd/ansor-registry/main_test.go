@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -164,5 +165,55 @@ func TestServeFlagErrors(t *testing.T) {
 	// A failed bind must not touch the store.
 	if _, err := os.Stat(store); !os.IsNotExist(err) {
 		t.Errorf("bad -addr should not create the store file: %v", err)
+	}
+}
+
+// TestCompactVerb: the compact verb bounds a store in place with
+// temp+rename, keeping the per-group best.
+func TestCompactVerb(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "registry.json")
+	l := &measure.Log{}
+	for i := 0; i < 30; i++ {
+		l.Records = append(l.Records, measure.Record{
+			Task: "op", Target: "cpu", DAG: "d",
+			Steps:   []byte(fmt.Sprintf(`[{"i":%d}]`, i)),
+			Seconds: float64(30 - i), Noiseless: float64(30 - i),
+		})
+	}
+	if err := l.SaveFile(store); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"compact", "-store", store, "-top-k", "3"}, &out, &out, nil); err != nil {
+		t.Fatalf("compact: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "30 -> 6 records") {
+		t.Errorf("unexpected compact report: %s", out.String())
+	}
+	got, err := measure.LoadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 6 {
+		t.Fatalf("store holds %d records after compact, want 6", len(got.Records))
+	}
+	if got.Records[0].Seconds != 1 {
+		t.Errorf("compacted store lost the best record: %g", got.Records[0].Seconds)
+	}
+	if _, err := os.Stat(store + ".tmp"); !os.IsNotExist(err) {
+		t.Error("compact left its temp file behind")
+	}
+
+	// Error cases: missing store, bad top-k, unknown verb.
+	if err := run(context.Background(), []string{"compact", "-store", filepath.Join(dir, "absent.json")}, &out, &out, nil); err == nil {
+		t.Error("compacting a missing store must fail")
+	}
+	if err := run(context.Background(), []string{"compact", "-store", store, "-top-k", "0"}, &out, &out, nil); err == nil {
+		t.Error("top-k 0 must fail")
+	}
+	if err := run(context.Background(), []string{"bogus-verb"}, &out, &out, nil); err == nil {
+		t.Error("unknown verb must fail")
 	}
 }

@@ -11,6 +11,9 @@
 //	ansor-tune -workload GMM.s1 -apply-best tune.json   # serve the best schedule, zero trials
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421         # publish to a shared registry
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -apply-best registry
+//	ansor-tune -workload GMM.s1 -warm-start tune.json                        # start informed by a local log
+//	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -warm-start registry
+//	ansor-tune -workload GMM.s1 -warm-start tune.json,http://127.0.0.1:8421  # merged warm start
 //	ansor-tune -list
 package main
 
@@ -48,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers   = fs.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
 		logTo     = fs.String("log", "", "append measurement records to this tuning log (one JSON record per line)")
 		resume    = fs.String("resume", "", "resume from this tuning log: logged programs replay without re-measuring; with the same seed/options the run is bit-identical to an uninterrupted one (implies -log to the same file unless -log is set)")
-		warmStart = fs.String("warm-start", "", "seed the cost model and best pool from this log's records before the first round")
+		warmStart = fs.String("warm-start", "", "seed each task's cost model and best pool from tuning history before the first round; takes a log/registry file, a registry server URL (task-filtered fleet history), the literal 'registry' for the -registry-url server, or a comma-separated mix; sibling-target records transfer into the model only, time-calibrated and discounted")
 		applyBest = fs.String("apply-best", "", "skip searching: replay the best recorded schedule for the workload/network with zero trials; takes a log/registry file, a registry server URL, or the literal 'registry' for the -registry-url server")
 		regURL    = fs.String("registry-url", "", "publish every fresh measurement to this ansor-registry server (e.g. http://127.0.0.1:8421) so concurrent tuning jobs accumulate one shared registry")
 		list      = fs.Bool("list", false, "list available workloads and exit")

@@ -292,3 +292,43 @@ func TestNetworkCheckpointResume(t *testing.T) {
 		t.Fatalf("drifted network should be rejected, got %v", err)
 	}
 }
+
+// TestWarmStartCLIRoundTrip: -warm-start accepts a log file, a server
+// URL, and the literal "registry"; the warm-started run still reports a
+// full fresh-trial tune (warm start costs no budget) and "registry"
+// without -registry-url fails fast.
+func TestWarmStartCLIRoundTrip(t *testing.T) {
+	srv := regserver.New(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	dir := t.TempDir()
+	logFile := filepath.Join(dir, "history.json")
+	exec(t, "-workload", "GMM.s1", "-trials", "16", "-per-round", "8", "-seed", "5",
+		"-log", logFile, "-registry-url", hs.URL)
+	if srv.Registry().Len() == 0 {
+		t.Fatal("seed run published nothing")
+	}
+
+	for _, args := range [][]string{
+		{"-workload", "GMM.s1", "-trials", "8", "-per-round", "8", "-seed", "6", "-warm-start", logFile},
+		{"-workload", "GMM.s1", "-trials", "8", "-per-round", "8", "-seed", "6", "-warm-start", hs.URL},
+		{"-workload", "GMM.s1", "-trials", "8", "-per-round", "8", "-seed", "6",
+			"-registry-url", hs.URL, "-warm-start", "registry"},
+		{"-workload", "GMM.s1", "-trials", "8", "-per-round", "8", "-seed", "6",
+			"-warm-start", logFile + "," + hs.URL},
+	} {
+		out := exec(t, args...)
+		if !strings.Contains(out, "(8 fresh trials)") {
+			t.Fatalf("warm-started run should spend its full fresh budget:\n%s", out)
+		}
+	}
+
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "GMM.s1", "-warm-start", "registry"}, &out, &errb); err == nil {
+		t.Error("-warm-start registry without -registry-url must fail")
+	}
+	if err := run([]string{"-workload", "GMM.s1", "-warm-start", "http://127.0.0.1:1"}, &out, &errb); err == nil {
+		t.Error("-warm-start against an unreachable server must fail fast")
+	}
+}

@@ -168,6 +168,26 @@ func (e *Search) Run(dag *te.DAG, init []*ir.State, scorer Scorer, out int) []*i
 		}
 		return all[i].sig < all[j].sig
 	})
+	// Family-diverse cut: the exact signature distinguishes near-twin
+	// variants of one loop structure (packed vs. unpacked constant
+	// layout) that score adjacently, so taking the top `out` verbatim
+	// would crowd the result with twins and starve distinct structures.
+	// Keep the best scorer of each structural family first, then fill
+	// with the twins — both in the deterministic sorted order, so the
+	// result is still a pure function of the inputs.
+	seenFam := map[string]bool{}
+	lead := make([]scored, 0, len(all))
+	var twins []scored
+	for _, b := range all {
+		fam := b.s.FamilySignature()
+		if seenFam[fam] {
+			twins = append(twins, b)
+			continue
+		}
+		seenFam[fam] = true
+		lead = append(lead, b)
+	}
+	all = append(lead, twins...)
 	if out > len(all) {
 		out = len(all)
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sketch"
 	"repro/internal/te"
+	"repro/internal/warm"
 	"repro/internal/workloads"
 )
 
@@ -53,6 +54,47 @@ type Config struct {
 	// experiments also publishes there. Publishing is passive: figures
 	// are bit-identical with or without it.
 	RegistryURL string
+	// WarmStart names warm-start sources for the Ansor policies the
+	// experiments build — the same file|URL|"registry" forms as
+	// ansor.TuningOptions.WarmStartFrom (resolve with ConnectWarmStart).
+	// Only Ansor warm-starts: the baselines must stay the published cold
+	// baselines, or the comparison is meaningless. Warm starting
+	// deliberately changes results — unlike Resume, which replays the
+	// cold trajectory.
+	WarmStart string
+
+	// warmSrc is the resolved WarmStart source, shared by every figure
+	// run off this config.
+	warmSrc warm.Source
+}
+
+// ConnectWarmStart resolves the WarmStart spec eagerly (a bad path or
+// unreachable server fails here, before any tuning). No-op without one.
+func (c *Config) ConnectWarmStart() error {
+	if c.WarmStart == "" {
+		return nil
+	}
+	src, err := warm.Open(c.WarmStart, c.RegistryURL)
+	if err != nil {
+		return err
+	}
+	c.warmSrc = src
+	return nil
+}
+
+// warmStart seeds an Ansor policy from the config's warm source; no-op
+// without one. Fetch/replay failures are fatal like they are in the
+// ansor API: silently starting cold would misattribute results.
+func (c Config) warmStart(p *policy.Policy, machine string) error {
+	if c.warmSrc == nil {
+		return nil
+	}
+	recs, err := warm.Records(c.warmSrc, p.Task.Name, machine)
+	if err != nil {
+		return err
+	}
+	_, err = p.WarmStartWeighted(recs)
+	return err
 }
 
 // ConnectRegistry attaches the config's RegistryURL to its Recorder
@@ -196,6 +238,12 @@ func searchFramework(fw Framework, name string, d *te.DAG, plat Platform, cfg Co
 		p, err := baselines.NewAnsor(task, ms, cfg.Seed)
 		if err != nil {
 			return math.Inf(1)
+		}
+		if err := cfg.warmStart(p, plat.Machine.Name); err != nil {
+			// Inf means "framework unsupported here"; a broken warm-start
+			// source is infrastructure failure and must not be recorded
+			// as an Ansor result (same convention as TuneNetworks).
+			panic(fmt.Sprintf("exp: warm start %s: %v", name, err))
 		}
 		return p.Tune(cfg.Trials, cfg.PerRound)
 	case FwPyTorch:

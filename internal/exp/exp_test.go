@@ -205,6 +205,11 @@ func TestConnectRegistry(t *testing.T) {
 	}
 	nets := []workloads.Network{workloads.DCGAN(1)}
 	published := TuneNetworks(nets, IntelPlatform(true), cfg, VariantAnsor, cfg.Trials)
+	// Publishing batches in the background; closing the recorder flushes
+	// the tail (the CLI does this in its closeLog step).
+	if err := cfg.Recorder.Close(); err != nil {
+		t.Fatalf("recorder close: %v", err)
+	}
 	if srv.Registry().Len() == 0 {
 		t.Fatal("experiment measurements never reached the registry server")
 	}

@@ -87,6 +87,13 @@ func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 				if err != nil {
 					panic(err)
 				}
+				// Only the full-space Ansor variants warm-start; the
+				// restricted ablation variants stay cold baselines.
+				if variant == VariantAnsor || variant == VariantNoTaskScheduler {
+					if err := cfg.warmStart(p, plat.Machine.Name); err != nil {
+						panic(err)
+					}
+				}
 				s = slot{
 					tuner: &policyTuner{p: p, perRound: cfg.PerRound, tag: task.Tag, flops: dag.TotalFlops()},
 					index: len(tuners),

@@ -416,11 +416,12 @@ func (s *State) Validate() error {
 func (s *State) iterList(st *Stage) []*Iter { return st.Iters }
 
 // Signature returns a short stable string identifying the program
-// structure and tile sizes; used for deduplication in search. It is
-// deliberately structural and lossy (e.g. constant-layout packing is not
-// encoded): exact program identity, as the persistence layer needs for
-// serving recorded times, is the (DAG fingerprint, step list) pair —
-// see internal/measure.
+// structure, tile sizes, annotations, and constant-layout packing; used
+// for deduplication in search. Two states with equal signatures lower to
+// the same loop nest and memory layout, so §5.1's search-level dedupe is
+// exact; the persistence layer still keys exact program identity on the
+// (DAG fingerprint, step list) pair — see internal/measure — because the
+// signature does not record how the program was derived.
 func (s *State) Signature() string {
 	var b strings.Builder
 	for _, st := range s.Stages {
@@ -428,7 +429,15 @@ func (s *State) Signature() string {
 			fmt.Fprintf(&b, "%s:inl;", st.Name)
 			continue
 		}
-		fmt.Fprintf(&b, "%s[", st.Name)
+		b.WriteString(st.Name)
+		if st.PackedConst {
+			// Constant-layout packing (§4.2) changes the measured memory
+			// behaviour without changing the loop nest: omitting it
+			// conflated two programs that measure differently (ROADMAP,
+			// "coarse signature").
+			b.WriteString("!pk")
+		}
+		b.WriteString("[")
 		for _, it := range st.Iters {
 			fmt.Fprintf(&b, "%d%s,", it.Extent, annShort(it.Ann))
 		}
@@ -439,6 +448,16 @@ func (s *State) Signature() string {
 		}
 	}
 	return b.String()
+}
+
+// FamilySignature identifies the program's structural family: the
+// Signature with the constant-layout packing markers stripped. Near-twin
+// variants that differ only in packing (§4.2's layout rewrite) share a
+// family. Search uses it as a diversity key when cutting candidate
+// lists: identity stays exact (Signature), but a measurement batch
+// should not fill up with twins of one loop structure.
+func (s *State) FamilySignature() string {
+	return strings.ReplaceAll(s.Signature(), "!pk", "")
 }
 
 func annShort(a Annotation) string {

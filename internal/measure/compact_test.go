@@ -1,0 +1,109 @@
+package measure
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// compactRec builds a synthetic record; steps only need to be distinct
+// and stable for Compact, which never replays them.
+func compactRec(task, target, dag string, sec float64, id int) Record {
+	return Record{
+		Task: task, Target: target, DAG: dag,
+		Steps:     json.RawMessage(fmt.Sprintf(`[{"kind":"synthetic","data":{"id":%d}}]`, id)),
+		Seconds:   sec,
+		Noiseless: sec,
+	}
+}
+
+func TestCompactKeepsTopKAndTailSample(t *testing.T) {
+	l := &Log{}
+	// 20 records of one group, times 1..20 in shuffled append order.
+	for i, sec := range []int{7, 1, 14, 3, 20, 5, 2, 16, 9, 4, 11, 6, 18, 8, 10, 12, 13, 15, 17, 19} {
+		l.Records = append(l.Records, compactRec("t", "m", "d", float64(sec), i))
+	}
+	c := l.Compact(3)
+	if len(c.Records) != 6 {
+		t.Fatalf("compact kept %d records, want 3 top + 3 sample", len(c.Records))
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if c.Records[i].Seconds != want {
+			t.Errorf("top record %d: seconds %g, want %g", i, c.Records[i].Seconds, want)
+		}
+	}
+	// The tail sample spans the remainder (4..20): fastest and slowest
+	// leftover included, so slow programs stay available as negative
+	// training examples.
+	if c.Records[3].Seconds != 4 {
+		t.Errorf("sample should start at the fastest leftover, got %g", c.Records[3].Seconds)
+	}
+	if c.Records[5].Seconds != 20 {
+		t.Errorf("sample should include the slowest record, got %g", c.Records[5].Seconds)
+	}
+
+	// Small groups are kept whole.
+	small := &Log{Records: []Record{
+		compactRec("u", "m", "d", 2, 100),
+		compactRec("u", "m", "d", 1, 101),
+	}}
+	if got := len(small.Compact(5).Records); got != 2 {
+		t.Errorf("small group: kept %d, want 2", got)
+	}
+}
+
+func TestCompactGroupsAndDeterminism(t *testing.T) {
+	l := &Log{}
+	for i := 0; i < 12; i++ {
+		l.Records = append(l.Records, compactRec("a", "m1", "d", float64(10+i), i))
+		l.Records = append(l.Records, compactRec("b", "m2", "d", float64(30-i), 100+i))
+	}
+	// Duplicate lines (legacy logs predate recorder dedupe) collapse.
+	l.Records = append(l.Records, l.Records[0], l.Records[1])
+
+	c := l.Compact(2)
+	counts := map[string]int{}
+	for _, rec := range c.Records {
+		counts[rec.Task]++
+	}
+	if counts["a"] != 4 || counts["b"] != 4 {
+		t.Errorf("per-group keep counts %v, want 4 each (2 top + 2 sample)", counts)
+	}
+	if best, ok := first(c, "a"); !ok || best != 10 {
+		t.Errorf("group a best %g, want 10", best)
+	}
+	if best, ok := first(c, "b"); !ok || best != 19 {
+		t.Errorf("group b best %g, want 19", best)
+	}
+
+	// Same records, twice compacted: byte-identical output (compaction
+	// feeds snapshots, which are compared byte-for-byte across jobs).
+	var b1, b2 bytes.Buffer
+	if err := l.Compact(2).Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(2).Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("compaction is not deterministic")
+	}
+	// Compacting a compacted log is a fixed point at the same topK.
+	var b3 bytes.Buffer
+	if err := l.Compact(2).Compact(2).Save(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b3.Bytes()) {
+		t.Error("compaction of a compacted log should be a fixed point")
+	}
+}
+
+func first(l *Log, task string) (float64, bool) {
+	for _, rec := range l.Records {
+		if rec.Task == task {
+			return rec.Seconds, true
+		}
+	}
+	return 0, false
+}

@@ -250,3 +250,58 @@ func TestRecorderDedupesAndStreams(t *testing.T) {
 		t.Errorf("recorder re-recorded %d pre-seen records, want 0", got)
 	}
 }
+
+// failAfter fails every Write after the first n.
+type failAfter struct {
+	n, writes int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.n {
+		return 0, fmt.Errorf("sink died")
+	}
+	return len(p), nil
+}
+
+func TestRecorderTeesFailIndependently(t *testing.T) {
+	var primary bytes.Buffer
+	sick := &failAfter{n: 1}
+	healthy := &bytes.Buffer{}
+	r := NewRecorder(&primary)
+	r.Tee(sick)
+	r.Tee(healthy)
+
+	s := matmulState(t)
+	ms := New(sim.IntelXeon(), 0, 1)
+	for i := 0; i < 3; i++ {
+		res := ms.Measure([]*ir.State{s})[0]
+		rec, err := NewRecord(fmt.Sprintf("t%d", i), "m", res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Record(rec)
+	}
+	count := func(b *bytes.Buffer) int {
+		l, err := Load(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(l.Records)
+	}
+	// The sick tee took 1 record then died; the primary sink and the
+	// healthy tee must both hold all 3.
+	if got := count(&primary); got != 3 {
+		t.Errorf("primary sink got %d records, want 3", got)
+	}
+	if got := count(healthy); got != 3 {
+		t.Errorf("healthy tee starved by its sick sibling: %d records, want 3", got)
+	}
+	// The sick tee's error still surfaces.
+	if r.Err() == nil {
+		t.Error("sick tee's error must latch")
+	}
+	if err := r.Close(); err == nil {
+		t.Error("Close must report the latched tee error")
+	}
+}

@@ -94,17 +94,23 @@ func (ms *MeasuredSet) Len() int {
 // optional writer (one JSON record per line, so an *os.File opened in
 // append mode accumulates a durable log across runs). It is safe for
 // concurrent use by measurers sharing it.
+// teeSink is one secondary sink with its own latched error: sinks fail
+// independently, so one sick tee (a dead registry server) can neither
+// stop the primary log nor starve a healthy sibling tee.
+type teeSink struct {
+	w   io.Writer
+	err error
+}
+
 type Recorder struct {
 	mu   sync.Mutex
 	w    io.Writer
-	tee  io.Writer
+	tees []teeSink
 	log  Log
 	seen map[setKey]struct{}
-	// err and teeErr latch the first failure of each sink
-	// independently: a sick registry server must not stop the durable
-	// log file from receiving records, and vice versa.
-	err    error
-	teeErr error
+	// err latches the primary sink's first failure; each tee latches its
+	// own (see teeSink).
+	err error
 }
 
 // NewRecorder returns a recorder streaming to w (nil keeps the log
@@ -119,15 +125,13 @@ func NewRecorder(w io.Writer) *Recorder {
 // to publish a tuning run's fresh measurements to a server while the
 // durable log file keeps receiving them. The sinks fail independently:
 // a failing tee latches its own first error (surfaced through Err)
-// without stopping either the tuning run or the primary log sink.
+// without stopping either the tuning run or the primary log sink. Tee
+// sinks that also implement io.Closer (e.g. the registry client's
+// batched writer) are flushed and closed by Close.
 func (r *Recorder) Tee(w io.Writer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.tee == nil {
-		r.tee = w
-		return
-	}
-	r.tee = io.MultiWriter(r.tee, w)
+	r.tees = append(r.tees, teeSink{w: w})
 }
 
 // MarkSeen pre-seeds the dedupe set (without re-writing the records),
@@ -156,7 +160,7 @@ func (r *Recorder) Record(rec Record) (bool, error) {
 		r.seen[k] = struct{}{}
 	}
 	r.log.Records = append(r.log.Records, rec)
-	if r.w != nil || r.tee != nil {
+	if r.w != nil || len(r.tees) > 0 {
 		var line bytes.Buffer
 		one := Log{Records: []Record{rec}}
 		if err := one.Save(&line); err != nil {
@@ -173,21 +177,51 @@ func (r *Recorder) Record(rec Record) (bool, error) {
 				r.err = err
 			}
 		}
-		if r.tee != nil && r.teeErr == nil {
-			if _, err := r.tee.Write(line.Bytes()); err != nil {
-				r.teeErr = err
+		for i := range r.tees {
+			if r.tees[i].err != nil {
+				continue
+			}
+			if _, err := r.tees[i].w.Write(line.Bytes()); err != nil {
+				r.tees[i].err = err
 			}
 		}
 	}
 	return true, r.firstErrLocked()
 }
 
-// firstErrLocked returns the primary sink's first error, else the tee's.
+// Close flushes and closes every tee sink that implements io.Closer
+// (the primary sink stays open — its file is owned by whoever passed it
+// to NewRecorder) and returns the first error any sink latched,
+// including flush errors surfaced by the closes. Whoever ends the run
+// must call Close rather than just Err once a buffering sink (the
+// registry client's batched writer) may hold unflushed records.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.tees {
+		if c, ok := r.tees[i].w.(io.Closer); ok {
+			if err := c.Close(); err != nil && r.tees[i].err == nil {
+				r.tees[i].err = err
+			}
+		}
+	}
+	err := r.firstErrLocked()
+	r.tees = nil
+	return err
+}
+
+// firstErrLocked returns the primary sink's first error, else the first
+// tee's (in attach order).
 func (r *Recorder) firstErrLocked() error {
 	if r.err != nil {
 		return r.err
 	}
-	return r.teeErr
+	for _, tee := range r.tees {
+		if tee.err != nil {
+			return tee.err
+		}
+	}
+	return nil
 }
 
 // Log returns a snapshot of everything recorded so far.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/ir"
@@ -198,6 +199,80 @@ func LoadFile(path string) (*Log, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// Compact bounds an append-only log for long-lived deployments: per
+// (task, target, dag) group it keeps the topK fastest records plus a
+// deterministic training-representative sample of up to topK more,
+// spread evenly across the remainder's time distribution — warm-started
+// cost models need slow programs as negative examples, so keeping only
+// winners would bias every model trained from a compacted log. Within a
+// group, records order by (Seconds, canonical steps), and groups by
+// first appearance, so compaction is a pure function of the log's
+// contents: compacting the same records always yields the same bytes.
+// The original log is untouched; duplicates (same steps, same time) are
+// collapsed.
+func (l *Log) Compact(topK int) *Log {
+	if topK <= 0 {
+		topK = 1
+	}
+	type groupKey struct{ task, target, dag string }
+	groups := map[groupKey][]Record{}
+	var order []groupKey
+	for _, rec := range l.Records {
+		k := groupKey{rec.Task, rec.Target, rec.DAG}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], rec)
+	}
+	out := &Log{}
+	for _, k := range order {
+		recs := groups[k]
+		sort.SliceStable(recs, func(a, b int) bool {
+			if recs[a].Seconds != recs[b].Seconds {
+				return recs[a].Seconds < recs[b].Seconds
+			}
+			return string(recs[a].Steps) < string(recs[b].Steps)
+		})
+		// Collapse exact duplicates (a resumed run's log can repeat a
+		// legacy record that predates recorder dedupe).
+		var uniq []Record
+		for _, rec := range recs {
+			if n := len(uniq); n > 0 && rec.Seconds == uniq[n-1].Seconds && string(rec.Steps) == string(uniq[n-1].Steps) {
+				continue
+			}
+			uniq = append(uniq, rec)
+		}
+		recs = uniq
+		n := topK
+		if n > len(recs) {
+			n = len(recs)
+		}
+		out.Records = append(out.Records, recs[:n]...)
+		rest := recs[n:]
+		if len(rest) == 0 {
+			continue
+		}
+		// Evenly spaced quantile sample of the tail, slowest included.
+		sample := topK
+		if sample > len(rest) {
+			sample = len(rest)
+		}
+		prev := -1
+		for i := 0; i < sample; i++ {
+			j := len(rest) - 1
+			if sample > 1 {
+				j = i * (len(rest) - 1) / (sample - 1)
+			}
+			if j == prev {
+				continue
+			}
+			prev = j
+			out.Records = append(out.Records, rest[j])
+		}
+	}
+	return out
 }
 
 // Replay rebuilds the record's program on the given DAG.

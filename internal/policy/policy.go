@@ -97,9 +97,12 @@ type Policy struct {
 	rng      *rand.Rand
 	pool     *pool.Pool
 
-	// Accumulated training data.
-	progFeats [][][]float64
-	progTimes []float64
+	// Accumulated training data. progWeights carries each program's
+	// training weight: 1 for native measurements, a transfer discount for
+	// warm-started records of sibling targets (see WarmStartWeighted).
+	progFeats   [][][]float64
+	progTimes   []float64
+	progWeights []float64
 
 	measuredSigs map[string]bool
 	bestStates   []*ir.State // sorted by measured time, ascending
@@ -282,9 +285,23 @@ func (p *Policy) update(results []measure.Result) {
 // absorb folds one measured program into the accumulated training data
 // and best tracking (pool rebuild and retraining are the caller's job).
 func (p *Policy) absorb(s *ir.State, feats [][]float64, seconds float64) {
-	p.measuredSigs[s.Signature()] = true
+	p.absorbWeighted(s, feats, seconds, 1, false)
+}
+
+// absorbWeighted is absorb with a training weight and an optional
+// train-only restriction. A train-only program feeds the cost model but
+// never enters the best-k pool, the best time, or the measured set —
+// transferred cross-target records must inform the model without
+// claiming a measured best on this target, and must stay measurable if
+// the search picks them natively.
+func (p *Policy) absorbWeighted(s *ir.State, feats [][]float64, seconds, weight float64, trainOnly bool) {
 	p.progFeats = append(p.progFeats, feats)
 	p.progTimes = append(p.progTimes, seconds)
+	p.progWeights = append(p.progWeights, weight)
+	if trainOnly {
+		return
+	}
+	p.measuredSigs[s.Signature()] = true
 	if seconds < p.BestTime {
 		p.BestTime = seconds
 		p.BestState = s
@@ -328,7 +345,27 @@ func (p *Policy) retrain() {
 	for i, t := range p.progTimes {
 		y[i] = minT / t
 	}
-	p.model.Fit(p.progFeats, y)
+	p.model.FitWeighted(p.progFeats, y, p.progWeights)
+}
+
+// WarmRecord is one source-tagged, weighted record offered to a policy's
+// warm start. Same-target history replays at full weight exactly as a
+// plain WarmStart; records transferred from a sibling target arrive
+// calibrated (Seconds rewritten into this target's time scale),
+// discounted (Weight < 1) and TrainOnly, so they shape the cost model
+// without ever claiming a measured best (see internal/warm).
+type WarmRecord struct {
+	measure.Record
+	// Weight scales the record's influence on cost-model training
+	// (clamped to (0, 1]; 1 = native measurement).
+	Weight float64
+	// TrainOnly keeps the record out of the best-k pool, the best time,
+	// and the measured set: it informs the model only, and the search may
+	// still measure the program natively.
+	TrainOnly bool
+	// Source tags the record's provenance (file path or server URL) for
+	// diagnostics; it never affects the search.
+	Source string
 }
 
 // WarmStart replays previously recorded programs of this policy's task
@@ -342,25 +379,48 @@ func (p *Policy) retrain() {
 // untouched: warm-start is free budget-wise. Returns how many records
 // were absorbed and the first replay error encountered.
 func (p *Policy) WarmStart(recs []measure.Record) (int, error) {
-	var n int
-	var first error
+	ws := make([]WarmRecord, 0, len(recs))
 	for _, rec := range recs {
-		if rec.Task != p.Task.Name || rec.Seconds <= 0 {
-			continue
-		}
 		if rec.Target != "" && p.Measurer != nil && rec.Target != p.Measurer.Machine.Name {
 			continue
 		}
-		s, err := rec.Replay(p.Task.DAG)
+		ws = append(ws, WarmRecord{Record: rec, Weight: 1})
+	}
+	return p.WarmStartWeighted(ws)
+}
+
+// WarmStartWeighted is the generalized warm start: each record carries
+// its own training weight and pool eligibility (see WarmRecord). The
+// caller — normally internal/warm — owns target filtering, cross-target
+// calibration and weighting; the policy still skips records of other
+// tasks, non-positive times or weights, programs that no longer replay
+// on this DAG, and programs already absorbed. Trials and History stay
+// untouched. Returns how many records were absorbed and the first
+// replay/lowering error encountered.
+func (p *Policy) WarmStartWeighted(recs []WarmRecord) (int, error) {
+	var n int
+	var first error
+	seen := map[string]bool{}
+	for _, wr := range recs {
+		if wr.Task != p.Task.Name || wr.Seconds <= 0 || wr.Weight <= 0 {
+			continue
+		}
+		w := wr.Weight
+		if w > 1 {
+			w = 1
+		}
+		s, err := wr.Replay(p.Task.DAG)
 		if err != nil {
 			if first == nil {
 				first = err
 			}
 			continue
 		}
-		if p.measuredSigs[s.Signature()] {
+		sig := s.Signature()
+		if p.measuredSigs[sig] || seen[sig] {
 			continue
 		}
+		seen[sig] = true
 		low, err := ir.Lower(s)
 		if err != nil {
 			if first == nil {
@@ -368,7 +428,7 @@ func (p *Policy) WarmStart(recs []measure.Record) (int, error) {
 			}
 			continue
 		}
-		p.absorb(s, feat.Extract(low), rec.Seconds)
+		p.absorbWeighted(s, feat.Extract(low), wr.Seconds, w, wr.TrainOnly)
 		n++
 	}
 	if n > 0 {

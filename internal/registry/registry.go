@@ -166,6 +166,30 @@ func (r *Registry) Keys() []Key {
 	return out
 }
 
+// Query returns the best records whose key matches the filters, in Keys
+// order (deterministic), capped at limit when limit > 0. An empty
+// workload or target matches every value — so ("GMM.s1", "", 0) returns
+// the workload's best record on every target the fleet has measured,
+// which is exactly what cross-target warm start wants.
+func (r *Registry) Query(workload, target string, limit int) *measure.Log {
+	l := &measure.Log{}
+	for _, k := range r.Keys() {
+		if workload != "" && k.Workload != workload {
+			continue
+		}
+		if target != "" && k.Target != target {
+			continue
+		}
+		if rec, ok := r.Lookup(k); ok {
+			l.Records = append(l.Records, rec)
+			if limit > 0 && len(l.Records) >= limit {
+				break
+			}
+		}
+	}
+	return l
+}
+
 // Lookup returns the entry stored under the exact key.
 func (r *Registry) Lookup(k Key) (measure.Record, bool) {
 	r.mu.RLock()

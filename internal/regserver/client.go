@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,6 +35,14 @@ func NewClient(base string) *Client {
 	}
 }
 
+// WithTimeout returns a copy of the client whose requests time out
+// after d (the default is 30s). Batched publishers in latency-sensitive
+// deployments set this well below the flush interval so one hung
+// request cannot back up the buffer across multiple flush windows.
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	return &Client{base: c.base, hc: &http.Client{Timeout: d}}
+}
+
 // IsURL reports whether src names a registry server rather than a file:
 // everywhere a registry file path is accepted, an http(s) URL selects
 // the service instead.
@@ -57,9 +66,12 @@ func LoadRegistry(src string) (*registry.Registry, error) {
 // server is pinged (a misspelled URL fails fast, before any tuning
 // work), a nil recorder is replaced by a fresh in-memory one, and the
 // server becomes a tee sink — every subsequently recorded measurement
-// publishes there, with failures surfacing through Recorder.Err
-// without stopping the run or the recorder's primary log sink. Both
-// the ansor tuner and the experiment harness attach through here.
+// publishes there, with failures surfacing through Recorder.Err/Close
+// without stopping the run or the recorder's primary log sink. The sink
+// is a BatchWriter, so recording never blocks on the network: batches
+// flush in the background and the tail flushes when the run closes the
+// recorder (callers must use Recorder.Close, not just Err). Both the
+// ansor tuner and the experiment harness attach through here.
 //
 // seedLogs name existing tuning-log files (empty paths and missing
 // files are skipped) whose records are uploaded before publishing
@@ -95,7 +107,12 @@ func AttachRecorder(rec *measure.Recorder, url string, seedLogs ...string) (*mea
 	if rec == nil {
 		rec = measure.NewRecorder(nil)
 	}
-	rec.Tee(cl.RecordWriter())
+	// The publisher gets its own short-timeout client: a hung server must
+	// stall each background flush for at most one flush window (plus the
+	// retry), not the default 30s — otherwise Recorder.Close could block
+	// for minutes draining the tail. The long-timeout client stays in use
+	// above for the seed-log uploads, whose payloads can be large.
+	rec.Tee(cl.WithTimeout(DefaultFlushInterval).BatchWriter(0, 0))
 	return rec, nil
 }
 
@@ -223,6 +240,59 @@ func (c *Client) ApplyBest(workload, target string, dag *te.DAG) (*ir.State, flo
 		return nil, 0, fmt.Errorf("regserver: replay %q on %q: %w", workload, target, err)
 	}
 	return s, rec.Seconds, nil
+}
+
+// Records queries the server's best records filtered by workload and
+// target ("" matches any), capped at limit when limit > 0 — the
+// task-scoped slice of fleet history a warm start needs, without
+// downloading the full snapshot. Records arrive verbatim in the
+// registry's deterministic key order, so two clients issuing the same
+// query see byte-identical logs.
+func (c *Client) Records(workload, target string, limit int) (*measure.Log, error) {
+	q := url.Values{}
+	if workload != "" {
+		q.Set("workload", workload)
+	}
+	if target != "" {
+		q.Set("target", target)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	u := c.base + "/v1/records"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("regserver: records from %s: %w", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorOf(resp)
+	}
+	defer resp.Body.Close()
+	l, err := measure.Load(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("regserver: records from %s: %w", c.base, err)
+	}
+	return l, nil
+}
+
+// Metrics fetches the server's health counters.
+func (c *Client) Metrics() (Metrics, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return Metrics{}, fmt.Errorf("regserver: metrics from %s: %w", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Metrics{}, errorOf(resp)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return Metrics{}, fmt.Errorf("regserver: metrics from %s: %w", c.base, err)
+	}
+	return m, nil
 }
 
 // Keys returns every key the server holds, in the registry's sorted

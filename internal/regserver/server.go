@@ -24,7 +24,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/measure"
 	"repro/internal/registry"
@@ -40,11 +43,19 @@ type Server struct {
 	reg *registry.Registry
 	mux *http.ServeMux
 
+	// Health counters for /metrics: monotonic over the server's
+	// lifetime, cheap enough to bump on every publish.
+	offered   atomic.Int64 // records received by publish handlers
+	improved  atomic.Int64 // records that improved a key
+	pubErrors atomic.Int64 // publishes refused with a 5xx
+	started   time.Time
+
 	// mu guards the durability state below; the in-memory registry is
 	// internally synchronized and never held under mu.
-	mu        sync.Mutex
-	storePath string
-	appendF   *os.File
+	mu           sync.Mutex
+	storePath    string
+	appendF      *os.File
+	lastSnapshot time.Time
 }
 
 // New returns a server over an existing registry (nil = a fresh empty
@@ -54,7 +65,7 @@ func New(reg *registry.Registry) *Server {
 	if reg == nil {
 		reg = registry.New()
 	}
-	s := &Server{reg: reg}
+	s := &Server{reg: reg, started: time.Now()}
 	s.routes()
 	return s
 }
@@ -151,6 +162,7 @@ func (s *Server) Snapshot() error {
 		// descriptor.
 		s.appendF = nil
 	}
+	s.lastSnapshot = time.Now()
 	return s.openAppend()
 }
 
@@ -176,6 +188,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/best", s.handleBest)
 	s.mux.HandleFunc("/v1/keys", s.handleKeys)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -203,11 +216,32 @@ type AddResult struct {
 	Keys int `json:"keys"`
 }
 
-// handleRecords ingests a batch of tuning records: the body is a tuning
-// log in either format measure.Load accepts (line-oriented records or a
-// legacy {"records": [...]} object), so `ansor-tune -log` files, registry
-// snapshots, and single streamed records all upload unmodified.
+// handleRecords is the record collection: POST ingests a batch of
+// tuning records — the body is a tuning log in either format
+// measure.Load accepts (line-oriented records or a legacy
+// {"records": [...]} object), so `ansor-tune -log` files, registry
+// snapshots, and single streamed records all upload unmodified. GET
+// with ?workload=&target=&limit= streams the matching best records as a
+// line-oriented log: the task-filtered query a fresh job warm-starts
+// from, instead of downloading the fleet's full snapshot. Empty filters
+// match everything (workload across all targets is the cross-target
+// transfer query); limit 0 means no cap.
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && r.URL.Path != "/v1/merge" {
+		q := r.URL.Query()
+		limit := 0
+		if raw := q.Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "bad limit %q", raw)
+				return
+			}
+			limit = n
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.reg.Query(q.Get("workload"), q.Get("target"), limit).Save(w)
+		return
+	}
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST a record batch to %s", r.URL.Path)
 		return
@@ -220,9 +254,11 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := AddResult{Offered: len(l.Records)}
+	s.offered.Add(int64(len(l.Records)))
 	for _, rec := range l.Records {
 		improved, err := s.addDurably(rec)
 		if err != nil {
+			s.pubErrors.Add(1)
 			writeError(w, http.StatusInternalServerError, "persist: %v", err)
 			return
 		}
@@ -230,6 +266,7 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			res.Improved++
 		}
 	}
+	s.improved.Add(int64(res.Improved))
 	res.Keys = s.reg.Len()
 	writeJSON(w, http.StatusOK, res)
 }
@@ -263,6 +300,56 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.reg.Keys())
+}
+
+// Metrics is the /metrics payload: the numbers a deployment watches to
+// know its registry is alive and retaining data.
+type Metrics struct {
+	// Keys is the current number of (workload, target, dag) entries.
+	Keys int `json:"keys"`
+	// RecordsOffered / RecordsImproved count publishes over the server's
+	// lifetime; a collapsing improve rate on a young registry can flag
+	// misconfigured publishers (e.g. every job re-uploading one log).
+	RecordsOffered  int64 `json:"records_offered"`
+	RecordsImproved int64 `json:"records_improved"`
+	// PublishErrors counts publishes refused with a 5xx (store failures).
+	PublishErrors int64 `json:"publish_errors"`
+	// SnapshotAgeSeconds is the time since the last successful compacting
+	// snapshot (-1 before the first one, or without a store): a growing
+	// age with a snapshot interval configured means snapshots are
+	// failing and the store file is growing unboundedly.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// StoreBytes is the current size of the durable store file (0
+	// in-memory).
+	StoreBytes int64 `json:"store_bytes"`
+	// UptimeSeconds since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET %s", r.URL.Path)
+		return
+	}
+	m := Metrics{
+		Keys:               s.reg.Len(),
+		RecordsOffered:     s.offered.Load(),
+		RecordsImproved:    s.improved.Load(),
+		PublishErrors:      s.pubErrors.Load(),
+		SnapshotAgeSeconds: -1,
+		UptimeSeconds:      time.Since(s.started).Seconds(),
+	}
+	s.mu.Lock()
+	if !s.lastSnapshot.IsZero() {
+		m.SnapshotAgeSeconds = time.Since(s.lastSnapshot).Seconds()
+	}
+	if s.storePath != "" {
+		if fi, err := os.Stat(s.storePath); err == nil {
+			m.StoreBytes = fi.Size()
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, m)
 }
 
 // handleSnapshot streams the registry's best records in the

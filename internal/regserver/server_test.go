@@ -115,11 +115,15 @@ func TestRegServerHTTPErrors(t *testing.T) {
 		body         string
 		wantCode     int
 	}{
-		{"GET", "/v1/records", "", http.StatusMethodNotAllowed},
+		{"GET", "/v1/merge", "", http.StatusMethodNotAllowed}, // merge is POST-only; the query lives on /v1/records
 		{"POST", "/v1/best", "", http.StatusMethodNotAllowed},
 		{"POST", "/v1/keys", "", http.StatusMethodNotAllowed},
 		{"POST", "/v1/snapshot", "", http.StatusMethodNotAllowed},
-		{"GET", "/v1/best", "", http.StatusBadRequest}, // missing workload
+		{"GET", "/v1/metrics", "", http.StatusNotFound}, // metrics is unversioned, like healthz
+		{"POST", "/metrics", "", http.StatusMethodNotAllowed},
+		{"GET", "/v1/best", "", http.StatusBadRequest},             // missing workload
+		{"GET", "/v1/records?limit=-3", "", http.StatusBadRequest}, // bad limit
+		{"GET", "/v1/records?limit=x", "", http.StatusBadRequest},
 		{"POST", "/v1/records", "{not json", http.StatusBadRequest},
 		{"POST", "/v1/records", `{"bogus":1}`, http.StatusBadRequest},
 		{"GET", "/nope", "", http.StatusNotFound},

@@ -1,0 +1,353 @@
+// Package warm is the fleet warm-start subsystem: it turns accumulated
+// tuning history — a local log file, a registry server, or several of
+// both — into the source-tagged, weighted records a search policy
+// absorbs before its first round (policy.WarmStartWeighted).
+//
+// The pipeline is fetch → filter → weight:
+//
+//   - A Source fetches the records relevant to one task: a file source
+//     reads a tuning log once and serves per-task slices of it; a
+//     registry source issues the server's task-filtered query
+//     (GET /v1/records?workload=...) so a fresh job pulls only its own
+//     slice of fleet history instead of the full snapshot.
+//   - Records measured on the job's own target replay at full weight and
+//     stay eligible for the best-k pool, exactly like the original
+//     file-only warm start.
+//   - Records measured on a sibling target (e.g. avx2 → avx512) carry
+//     signal the cost model can use — the §5.2 program features are
+//     target-agnostic — but their times live on another machine's clock.
+//     They transfer with a per-target linear throughput calibration
+//     (fit from overlapping (workload, dag) pairs measured on both
+//     targets), a target-distance weight discount, and TrainOnly set:
+//     they shape the model's view of the search space but never enter
+//     the best-k pool or claim a measured best, so the tuning curve's
+//     "best" always refers to a time measured on this target.
+//   - Records from a different hardware class (CPU ↔ GPU) do not
+//     transfer at all: the search spaces differ structurally and the
+//     calibration assumption (one throughput scale) does not hold.
+//
+// Preparation canonicalizes record order, so warm-starting from a file
+// and from a server holding the same records is bit-identical — the
+// determinism contract of DESIGN.md extends through the warm start.
+package warm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/measure"
+	"repro/internal/policy"
+	"repro/internal/regserver"
+)
+
+// Source fetches raw warm-start records for one task. Implementations
+// must be usable for many tasks (TuneNetwork fetches per subgraph) but
+// need not tolerate concurrent Fetch calls: warm start happens during
+// policy construction, which is serial in every caller.
+type Source interface {
+	// Fetch returns the source's records for the workload, on any
+	// target. Callers own filtering and weighting (Records).
+	Fetch(workload string) (*measure.Log, error)
+	// Name tags prepared records with their provenance.
+	Name() string
+}
+
+// Open resolves a warm-start spec into a Source. A spec is one or more
+// comma-separated sources, each either a tuning-log/registry file path,
+// an http(s) registry-server URL, or the literal "registry" — which
+// resolves to registryURL, so CLIs can say `-warm-start registry` next
+// to `-registry-url` exactly like `-apply-best registry`. A server
+// source is pinged eagerly: a misspelled URL fails before any tuning
+// work.
+func Open(spec, registryURL string) (Source, error) {
+	parts := strings.Split(spec, ",")
+	var srcs []Source
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "registry" {
+			if registryURL == "" {
+				return nil, fmt.Errorf("warm: spec %q needs a registry URL (-registry-url)", spec)
+			}
+			part = registryURL
+		}
+		if regserver.IsURL(part) {
+			cl := regserver.NewClient(part)
+			if err := cl.Ping(); err != nil {
+				return nil, fmt.Errorf("warm: %w", err)
+			}
+			srcs = append(srcs, &serverSource{cl: cl, url: part})
+			continue
+		}
+		srcs = append(srcs, &fileSource{path: part})
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("warm: empty warm-start spec")
+	}
+	if len(srcs) == 1 {
+		return srcs[0], nil
+	}
+	return multiSource(srcs), nil
+}
+
+// fileSource serves per-task slices of one tuning log, read lazily and
+// exactly once (a network tuning job fetches for every subgraph).
+type fileSource struct {
+	path   string
+	loaded bool
+	log    *measure.Log
+}
+
+func (f *fileSource) Name() string { return f.path }
+
+func (f *fileSource) Fetch(workload string) (*measure.Log, error) {
+	if !f.loaded {
+		l, err := measure.LoadFile(f.path)
+		if err != nil {
+			return nil, fmt.Errorf("warm: %s: %w", f.path, err)
+		}
+		f.log = l
+		f.loaded = true
+	}
+	out := &measure.Log{}
+	for _, rec := range f.log.Records {
+		if rec.Task == workload {
+			out.Records = append(out.Records, rec)
+		}
+	}
+	return out, nil
+}
+
+// serverSource queries a registry server's task-filtered endpoint.
+type serverSource struct {
+	cl  *regserver.Client
+	url string
+}
+
+func (s *serverSource) Name() string { return s.url }
+
+func (s *serverSource) Fetch(workload string) (*measure.Log, error) {
+	l, err := s.cl.Records(workload, "", 0)
+	if err != nil {
+		return nil, fmt.Errorf("warm: %w", err)
+	}
+	return l, nil
+}
+
+// multiSource concatenates its children's fetches. Duplicate programs
+// across sources are harmless: preparation canonicalizes order and the
+// policy absorbs each program once.
+type multiSource []Source
+
+func (m multiSource) Name() string {
+	names := make([]string, len(m))
+	for i, s := range m {
+		names[i] = s.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+func (m multiSource) Fetch(workload string) (*measure.Log, error) {
+	out := &measure.Log{}
+	for _, s := range m {
+		l, err := s.Fetch(workload)
+		if err != nil {
+			return nil, err
+		}
+		out.Records = append(out.Records, l.Records...)
+	}
+	return out, nil
+}
+
+// Target-distance weight schedule: full weight natively, halved for a
+// sibling vector ISA of the same core, quartered across vendors within
+// a hardware class. An uncalibrated transfer (no overlapping pairs to
+// fit a time scale from) is halved once more — its times are raw
+// foreign-clock readings.
+const (
+	weightSibling      = 0.5
+	weightSameClass    = 0.25
+	uncalibratedFactor = 0.5
+)
+
+// TargetDistance classifies how transferable tuning records are between
+// two machine-model names:
+//
+//	0 — same target: records replay natively.
+//	1 — same core, different vector ISA (intel-20c-avx2 ↔ avx512).
+//	2 — same hardware class (both CPUs): structure transfers, times
+//	    need calibration.
+//	3 — different class (CPU ↔ GPU): no transfer; the search spaces
+//	    differ structurally (§4's sketch rules are per-class).
+func TargetDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if isGPU(a) != isGPU(b) {
+		return 3
+	}
+	if family(a) == family(b) {
+		return 1
+	}
+	return 2
+}
+
+// isGPU classifies a machine-model name (sim names GPUs by vendor).
+func isGPU(name string) bool {
+	return strings.HasPrefix(name, "nvidia") || strings.Contains(name, "gpu")
+}
+
+// family strips the trailing variant component: intel-20c-avx2 and
+// intel-20c-avx512 are both family intel-20c.
+func family(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Calibration holds per-sibling-target linear time scales into the
+// native target's clock.
+type Calibration struct {
+	target string
+	scale  map[string]float64 // sibling target -> multiplier
+}
+
+// Scale returns the fitted multiplier for a sibling target and whether
+// one could be fit.
+func (c *Calibration) Scale(sibling string) (float64, bool) {
+	s, ok := c.scale[sibling]
+	return s, ok
+}
+
+// FitCalibration fits, for every non-native target in refs, the
+// least-squares through-origin linear map from that target's times to
+// the native target's, using the best times of (workload, dag) pairs
+// both targets have measured. A single throughput ratio per target pair
+// is the coarsest useful model — and the only one a handful of overlap
+// pairs can support; it is also exactly what "machine A runs this class
+// of programs k× faster" means. Records with no native overlap partner
+// contribute nothing; targets with no overlap at all get no scale (the
+// caller discounts them instead).
+func FitCalibration(refs []measure.Record, target string) *Calibration {
+	type pairKey struct{ task, dag string }
+	nativeBest := map[pairKey]float64{}
+	sibBest := map[string]map[pairKey]float64{}
+	for _, rec := range refs {
+		if rec.Seconds <= 0 || rec.Task == "" {
+			continue
+		}
+		k := pairKey{rec.Task, rec.DAG}
+		if rec.Target == target {
+			if cur, ok := nativeBest[k]; !ok || rec.Seconds < cur {
+				nativeBest[k] = rec.Seconds
+			}
+			continue
+		}
+		m := sibBest[rec.Target]
+		if m == nil {
+			m = map[pairKey]float64{}
+			sibBest[rec.Target] = m
+		}
+		if cur, ok := m[k]; !ok || rec.Seconds < cur {
+			m[k] = rec.Seconds
+		}
+	}
+	cal := &Calibration{target: target, scale: map[string]float64{}}
+	for sib, m := range sibBest {
+		var sxx, sxy float64
+		for k, x := range m {
+			if y, ok := nativeBest[k]; ok {
+				sxx += x * x
+				sxy += x * y
+			}
+		}
+		if sxx > 0 && sxy > 0 {
+			cal.scale[sib] = sxy / sxx
+		}
+	}
+	return cal
+}
+
+// Records fetches and prepares one task's warm-start records: the
+// fetch → filter → weight pipeline. Same-target records (and legacy
+// records without a target) come first at weight 1, pool-eligible —
+// byte-compatible with the original file-only warm start. Sibling
+// records follow, calibrated onto the native clock, discounted by
+// target distance, and TrainOnly. Both partitions are canonically
+// sorted, so any source ordering (file append order, server key order)
+// prepares identically — warm-from-file and warm-from-server over the
+// same records stay bit-identical downstream.
+func Records(src Source, workload, target string) ([]policy.WarmRecord, error) {
+	l, err := src.Fetch(workload)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(l.Records, workload, target, src.Name()), nil
+}
+
+// Prepare is the filter/weight stage of Records, exposed for callers
+// that already hold raw records.
+func Prepare(recs []measure.Record, workload, target, source string) []policy.WarmRecord {
+	var native, sibling []measure.Record
+	for _, rec := range recs {
+		if rec.Task != workload || rec.Seconds <= 0 {
+			continue
+		}
+		// Legacy records carry no target; treat them as native, like the
+		// original warm start and the registry's legacy fallback do.
+		if rec.Target == "" || rec.Target == target {
+			native = append(native, rec)
+			continue
+		}
+		if TargetDistance(target, rec.Target) >= 3 {
+			continue
+		}
+		sibling = append(sibling, rec)
+	}
+	sortCanonical(native)
+	sortCanonical(sibling)
+	cal := FitCalibration(recs, target)
+
+	out := make([]policy.WarmRecord, 0, len(native)+len(sibling))
+	for _, rec := range native {
+		out = append(out, policy.WarmRecord{Record: rec, Weight: 1, Source: source})
+	}
+	for _, rec := range sibling {
+		w := weightSibling
+		if TargetDistance(target, rec.Target) == 2 {
+			w = weightSameClass
+		}
+		if scale, ok := cal.Scale(rec.Target); ok {
+			rec.Seconds *= scale
+			if rec.Noiseless > 0 {
+				rec.Noiseless *= scale
+			}
+		} else {
+			w *= uncalibratedFactor
+		}
+		out = append(out, policy.WarmRecord{Record: rec, Weight: w, TrainOnly: true, Source: source})
+	}
+	return out
+}
+
+// sortCanonical imposes the canonical record order preparation promises:
+// a pure function of the records' contents, independent of how the
+// source happened to order them.
+func sortCanonical(recs []measure.Record) {
+	sort.SliceStable(recs, func(a, b int) bool {
+		if recs[a].Target != recs[b].Target {
+			return recs[a].Target < recs[b].Target
+		}
+		if recs[a].DAG != recs[b].DAG {
+			return recs[a].DAG < recs[b].DAG
+		}
+		if recs[a].Seconds != recs[b].Seconds {
+			return recs[a].Seconds < recs[b].Seconds
+		}
+		return string(recs[a].Steps) < string(recs[b].Steps)
+	})
+}

@@ -244,6 +244,17 @@ func (c *CostModel) Trained() bool { return len(c.snapshot()) > 0 }
 // new ensemble is built aside and swapped in atomically, so concurrent
 // Score calls keep working against the previous ensemble.
 func (c *CostModel) Fit(progs [][][]float64, y []float64) {
+	c.FitWeighted(progs, y, nil)
+}
+
+// FitWeighted is Fit with an extra per-program confidence weight
+// multiplied into the §5.2 loss weight (nil = all 1, bit-identical to
+// Fit). Transfer learning uses it to absorb measurements from sibling
+// targets at a discount: a record whose time was calibrated across
+// machines should pull the ensemble less hard than one measured
+// natively. Weights scale gradients only — tree structure, determinism
+// and the atomic swap are unchanged.
+func (c *CostModel) FitWeighted(progs [][][]float64, y, progWeight []float64) {
 	if len(progs) == 0 {
 		c.mu.Lock()
 		c.trees = nil
@@ -286,6 +297,9 @@ func (c *CostModel) Fit(progs [][][]float64, y []float64) {
 			r := y[p] - progPred[p]
 			target[i] = r / nStmts[p]
 			weight[i] = math.Max(y[p], minWeight)
+			if progWeight != nil {
+				weight[i] *= progWeight[p]
+			}
 		}
 		t := fitTree(rows, target, weight, idx, c.Opts, rng, pl)
 		for i := range rows {
