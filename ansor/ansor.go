@@ -21,6 +21,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/fleet"
 	"repro/internal/ir"
 	"repro/internal/measure"
 	"repro/internal/policy"
@@ -164,6 +165,26 @@ type TuningOptions struct {
 	// Publish failures surface through Tuner.Close / TuneNetwork's
 	// error, like tuning-log write failures.
 	RegistryURL string
+	// FleetURL runs all measurement on a distributed fleet instead of
+	// in-process: batches are submitted to the measurement broker at
+	// this URL (`ansor-registry fleet`), sharded across the registered
+	// ansor-worker processes hosting this task's target, and reassembled
+	// in submission order. Everything else — search, cost model, noise,
+	// records, resume cache — stays local, and the tuning output is
+	// bit-identical to an in-process run at any worker count or lease
+	// assignment (DESIGN.md, "Measurement fleet"). Broker failures
+	// surface per-batch as measurement errors and again through
+	// Tuner.Close, like tuning-log write failures. A bearer token for a
+	// broker started with -auth-token may be embedded as
+	// "http://:TOKEN@host:port".
+	FleetURL string
+	// WarmStartLimit caps how many records each warm-start source
+	// contributes per task (0 = unbounded). Server sources query with
+	// the registry's limit parameter; file sources subsample their task
+	// slice with the training-representative top-k + slow-tail sampler
+	// of measure.Log.Compact — deterministic either way, so a limited
+	// warm start is reproducible.
+	WarmStartLimit int
 	// CheckpointPath persists the task scheduler's gradient state
 	// (sched.Checkpoint) for network tuning: TuneNetwork writes the
 	// checkpoint here after the run, and — when ResumeFrom is set and
@@ -210,18 +231,22 @@ type Tuner struct {
 	task     Task
 	opts     TuningOptions
 	pol      *policy.Policy
-	measurer *measure.Measurer
+	measurer measure.Interface
+	recorder *measure.Recorder
 	logFile  *os.File
 }
 
-// attachPersistence wires a measurer to the options' record/resume
-// files and, when RegistryURL is set, tees every fresh record to the
-// registry server. It returns the open log sink (nil when not
-// recording); the caller owns closing it.
-func attachPersistence(ms *measure.Measurer, opts TuningOptions) (*os.File, error) {
+// newMeasurer builds the run's measurement surface: the in-process
+// machine-model measurer, or — when FleetURL is set — a RemoteMeasurer
+// shipping batches to the measurement broker. Either is wired to the
+// options' record/resume files and, when RegistryURL is set, tees every
+// fresh record to the registry server. The returned recorder and log
+// sink (both possibly nil) are owned by the caller, which must close
+// them.
+func newMeasurer(target Target, opts TuningOptions) (measure.Interface, *measure.Recorder, *os.File, error) {
 	rec, cache, f, err := measure.OpenPersistence(opts.RecordTo, opts.ResumeFrom)
 	if err != nil {
-		return nil, fmt.Errorf("ansor: %w", err)
+		return nil, nil, nil, fmt.Errorf("ansor: %w", err)
 	}
 	if opts.RegistryURL != "" {
 		// Seed the server with the records already on disk: a resumed
@@ -232,12 +257,39 @@ func attachPersistence(ms *measure.Measurer, opts TuningOptions) (*os.File, erro
 			if f != nil {
 				f.Close()
 			}
-			return nil, fmt.Errorf("ansor: registry %s: %w", opts.RegistryURL, err)
+			return nil, nil, nil, fmt.Errorf("ansor: registry %s: %w", opts.RegistryURL, err)
 		}
 	}
+	if opts.FleetURL != "" {
+		rm := fleet.NewRemoteMeasurer(opts.FleetURL, target.Machine.Name, opts.NoiseStd, opts.Seed)
+		rm.Workers = opts.Workers
+		rm.Recorder = rec
+		rm.Cache = cache
+		if err := rm.Ping(); err != nil {
+			if rec != nil {
+				rec.Close()
+			}
+			if f != nil {
+				f.Close()
+			}
+			return nil, nil, nil, fmt.Errorf("ansor: fleet %s: %w", opts.FleetURL, err)
+		}
+		return rm, rec, f, nil
+	}
+	ms := measure.New(target.Machine, opts.NoiseStd, opts.Seed)
+	ms.Workers = opts.Workers
 	ms.Recorder = rec
 	ms.Cache = cache
-	return f, nil
+	return ms, rec, f, nil
+}
+
+// measurerErr surfaces a fleet measurer's latched broker error; nil for
+// the in-process measurer, which has no out-of-band failure mode.
+func measurerErr(ms measure.Interface) error {
+	if e, ok := ms.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
 }
 
 // openWarmSource resolves the options' WarmStartFrom spec (file path,
@@ -247,7 +299,7 @@ func openWarmSource(opts TuningOptions) (warm.Source, error) {
 	if opts.WarmStartFrom == "" {
 		return nil, nil
 	}
-	src, err := warm.Open(opts.WarmStartFrom, opts.RegistryURL)
+	src, err := warm.Open(opts.WarmStartFrom, opts.RegistryURL, opts.WarmStartLimit)
 	if err != nil {
 		return nil, fmt.Errorf("ansor: warm start from %s: %w", opts.WarmStartFrom, err)
 	}
@@ -273,15 +325,13 @@ func warmStartPolicy(pol *policy.Policy, src warm.Source, taskName, targetName s
 // generation) eagerly and fails if the DAG is invalid.
 func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 	opts.defaults()
-	ms := measure.New(task.Target.Machine, opts.NoiseStd, opts.Seed)
-	ms.Workers = opts.Workers
-	f, err := attachPersistence(ms, opts)
+	ms, rec, f, err := newMeasurer(task.Target, opts)
 	if err != nil {
 		return nil, err
 	}
 	cleanup := func() {
-		if ms.Recorder != nil {
-			ms.Recorder.Close()
+		if rec != nil {
+			rec.Close()
 		}
 		if f != nil {
 			f.Close()
@@ -308,16 +358,21 @@ func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 			return nil, err
 		}
 	}
-	return &Tuner{task: task, opts: opts, pol: pol, measurer: ms, logFile: f}, nil
+	return &Tuner{task: task, opts: opts, pol: pol, measurer: ms, recorder: rec, logFile: f}, nil
 }
 
 // Close flushes and closes the tuning log (if RecordTo was set), flushes
 // any batched registry publishing, and reports the first write/publish
-// error the recorder hit. Safe to call on a tuner that never recorded.
+// error the recorder hit — or, on a fleet-measured run, the first
+// broker failure the remote measurer latched. Safe to call on a tuner
+// that never recorded.
 func (t *Tuner) Close() error {
 	var err error
-	if t.measurer.Recorder != nil {
-		err = t.measurer.Recorder.Close()
+	if t.recorder != nil {
+		err = t.recorder.Close()
+	}
+	if ferr := measurerErr(t.measurer); err == nil {
+		err = ferr
 	}
 	if t.logFile != nil {
 		if cerr := t.logFile.Close(); err == nil {
@@ -459,15 +514,13 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 	if opts.ApplyHistoryBest != "" {
 		return applyNetworkBest(net, target, opts.ApplyHistoryBest)
 	}
-	ms := measure.New(target.Machine, opts.NoiseStd, opts.Seed)
-	ms.Workers = opts.Workers
-	logFile, err := attachPersistence(ms, opts)
+	ms, recorder, logFile, err := newMeasurer(target, opts)
 	if err != nil {
 		return NetworkResult{}, err
 	}
 	defer func() {
-		if ms.Recorder != nil {
-			ms.Recorder.Close()
+		if recorder != nil {
+			recorder.Close()
 		}
 		if logFile != nil {
 			logFile.Close()
@@ -552,13 +605,19 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 	if math.IsInf(res.Latency, 1) {
 		return res, fmt.Errorf("ansor: some tasks were never measured; increase Trials")
 	}
-	if ms.Recorder != nil {
+	if recorder != nil {
 		// Close (not just Err) flushes any batched registry publishing;
 		// it is idempotent, so the deferred close for early-error paths
 		// stays harmless.
-		if err := ms.Recorder.Close(); err != nil {
+		if err := recorder.Close(); err != nil {
 			return res, fmt.Errorf("ansor: tuning log: %w", err)
 		}
+	}
+	if err := measurerErr(ms); err != nil {
+		// A fleet-measured run with a broker failure mid-run is a
+		// divergent run: some batches came back errored and the search
+		// went on without them. Fail it like a torn tuning log.
+		return res, fmt.Errorf("ansor: fleet: %w", err)
 	}
 	if logFile != nil {
 		f := logFile

@@ -12,6 +12,7 @@
 //	ansor-bench -apply-best bench.json             # inspect the registry and exit
 //	ansor-bench -exp fig6 -registry-url http://127.0.0.1:8421   # publish to a shared registry
 //	ansor-bench -apply-best http://127.0.0.1:8421  # inspect a registry server and exit
+//	ansor-bench -exp fig6 -fleet-url http://127.0.0.1:8521      # measure on a worker fleet (bit-identical)
 package main
 
 import (
@@ -39,6 +40,8 @@ func main() {
 		applyBest = flag.String("apply-best", "", "print the best recorded schedule per (workload, target) and exit; takes a log/registry file, a registry server URL, or the literal 'registry' for the -registry-url server")
 		regURL    = flag.String("registry-url", "", "publish every fresh measurement to this ansor-registry server so experiment runs feed the shared registry")
 		warmStart = flag.String("warm-start", "", "warm-start the Ansor runs (baselines stay cold) from tuning history: a log/registry file, a registry server URL (task-filtered fleet history), the literal 'registry' for the -registry-url server, or a comma-separated mix; NOTE this deliberately changes Ansor's results, unlike -resume")
+		wsLimit   = flag.Int("warm-start-limit", 0, "cap the records each warm-start source contributes per task, subsampled training-representatively (top-k fastest + slow tail); 0 = unbounded")
+		fleetURL  = flag.String("fleet-url", "", "measure on a distributed worker fleet via this broker (ansor-registry fleet) instead of in-process; figures are bit-identical either way")
 	)
 	flag.Parse()
 
@@ -93,8 +96,14 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.WarmStart = *warmStart
+	cfg.WarmStartLimit = *wsLimit
 	if err := cfg.ConnectWarmStart(); err != nil {
 		fmt.Fprintf(os.Stderr, "ansor-bench: warm start %s: %v\n", *warmStart, err)
+		os.Exit(1)
+	}
+	cfg.FleetURL = *fleetURL
+	if err := cfg.ConnectFleet(); err != nil {
+		fmt.Fprintf(os.Stderr, "ansor-bench: fleet %s: %v\n", *fleetURL, err)
 		os.Exit(1)
 	}
 	// closeLog flushes the tuning log (and any registry publishing) and
@@ -117,6 +126,13 @@ func main() {
 				ok = false
 			}
 			logFile = nil
+		}
+		// A broker failure mid-run means some batches came back errored
+		// and the figures ran on partial measurements — fail the process
+		// like a torn log, never print divergent figures as a success.
+		if err := cfg.FleetErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "ansor-bench: fleet: %v\n", err)
+			ok = false
 		}
 		return ok
 	}

@@ -7,8 +7,14 @@
 // Examples:
 //
 //	ansor-registry serve -addr 127.0.0.1:8421 -store registry.json
+//	ansor-registry serve -auth-token s3cret                 # publishes need the bearer token
+//	ansor-registry serve -compact-over 10000000             # auto-compact the store past ~10MB
 //	ansor-registry compact -store registry.json -top-k 10   # bound a long-lived store/log
+//	ansor-registry fleet -addr 127.0.0.1:8521               # host a measurement broker
+//	ansor-worker -broker http://127.0.0.1:8521 -target intel -capacity 4 -seed 1
+//	ansor-tune -workload GMM.s1 -fleet-url http://127.0.0.1:8521   # measure on the fleet
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421
+//	ansor-tune -workload GMM.s1 -registry-url http://:s3cret@127.0.0.1:8421  # token in the URL
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -apply-best registry
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -warm-start registry
 //	ansor-bench -apply-best http://127.0.0.1:8421   # print the server's registry
@@ -35,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/measure"
 	"repro/internal/regserver"
 )
@@ -63,8 +70,58 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		return runServe(ctx, args, stdout, stderr, onReady)
 	case "compact":
 		return runCompact(args, stdout, stderr)
+	case "fleet":
+		return runFleet(ctx, args, stdout, stderr, onReady)
 	default:
-		return fmt.Errorf("unknown verb %q (want serve or compact)", verb)
+		return fmt.Errorf("unknown verb %q (want serve, compact, or fleet)", verb)
+	}
+}
+
+// runFleet hosts a measurement broker: tuning jobs submit batches with
+// `-fleet-url`, ansor-worker processes lease and measure them. The
+// broker is deliberately memoryless (jobs are transient; the submitter
+// owns the programs), so unlike `serve` there is no store and nothing
+// to snapshot — shutdown just drains in-flight requests.
+func runFleet(ctx context.Context, args []string, stdout, stderr io.Writer, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("ansor-registry fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8521", "address to listen on")
+		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "how long a worker may hold a lease before its slice is requeued on another worker")
+		maxFailures = fs.Int("max-failures", 3, "expired leases before a worker is quarantined (0 = never)")
+		authToken   = fs.String("auth-token", "", "require `Authorization: Bearer <token>` on job submission, leases and results (empty = open); clients embed it as http://:TOKEN@host")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	b := fleet.NewBroker()
+	b.LeaseTTL = *leaseTTL
+	b.MaxFailures = *maxFailures
+	b.AuthToken = *authToken
+	hs := &http.Server{Handler: b.Handler()}
+	fmt.Fprintf(stdout, "ansor-registry: measurement broker listening on %s (lease TTL %s, quarantine after %d failures)\n",
+		ln.Addr(), *leaseTTL, *maxFailures)
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintf(stdout, "ansor-registry: broker shutting down\n")
+		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
 	}
 }
 
@@ -121,12 +178,21 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer, onRe
 	fs := flag.NewFlagSet("ansor-registry serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr  = fs.String("addr", "127.0.0.1:8421", "address to listen on")
-		store = fs.String("store", "registry.json", "durable store: improving records append here immediately; snapshots compact it to the best set (empty = in-memory only)")
-		every = fs.Duration("snapshot-every", 30*time.Second, "interval between compacting snapshots of the store")
+		addr        = fs.String("addr", "127.0.0.1:8421", "address to listen on")
+		store       = fs.String("store", "registry.json", "durable store: improving records append here immediately; snapshots compact it to the best set (empty = in-memory only)")
+		every       = fs.Duration("snapshot-every", 30*time.Second, "interval between store maintenance passes (best-set snapshots, or threshold checks with -compact-over)")
+		authToken   = fs.String("auth-token", "", "require `Authorization: Bearer <token>` on record publishes (empty = open); publishers embed it as http://:TOKEN@host in -registry-url and friends")
+		compactOver = fs.Int64("compact-over", 0, "auto-compact the store through measure.Log.Compact whenever it exceeds this many bytes, instead of snapshotting it to the best set — keeps the training-representative slow tail that warm starts want (0 = best-set snapshots)")
+		compactTopK = fs.Int("compact-top-k", 10, "records kept per (workload, target, shape) by -compact-over compaction: the k fastest plus up to k tail samples")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compactOver < 0 {
+		return fmt.Errorf("serve: -compact-over must be >= 0, got %d", *compactOver)
+	}
+	if *compactTopK <= 0 {
+		return fmt.Errorf("serve: -compact-top-k must be positive, got %d", *compactTopK)
 	}
 
 	// Bind the address before touching the store: a bad -addr must not
@@ -143,6 +209,10 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer, onRe
 		}
 	} else {
 		srv = regserver.New(nil)
+	}
+	srv.AuthToken = *authToken
+	if *compactOver > 0 && *store != "" {
+		srv.EnableAutoCompact(*compactOver, *compactTopK)
 	}
 	// One Close for every exit path: it writes the final snapshot, so
 	// its error must reach the caller.

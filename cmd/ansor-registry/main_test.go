@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/measure"
 	"repro/internal/regserver"
 )
@@ -215,5 +217,161 @@ func TestCompactVerb(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"bogus-verb"}, &out, &out, nil); err == nil {
 		t.Error("unknown verb must fail")
+	}
+}
+
+// startFleetVerb runs `ansor-registry fleet` in-process.
+func startFleetVerb(t *testing.T, extra ...string) (string, *syncBuffer, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	out := &syncBuffer{}
+	errCh := make(chan error, 1)
+	args := append([]string{"fleet", "-addr", "127.0.0.1:0"}, extra...)
+	go func() {
+		errCh <- run(ctx, args, out, out, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, out, func() error {
+			cancel()
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(10 * time.Second):
+				return context.DeadlineExceeded
+			}
+		}
+	case err := <-errCh:
+		t.Fatalf("fleet verb exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("fleet verb never became ready")
+	}
+	panic("unreachable")
+}
+
+// TestFleetVerb drives the broker CLI end to end with a raw fleet
+// client standing in for a worker.
+func TestFleetVerb(t *testing.T) {
+	url, out, shutdown := startFleetVerb(t, "-lease-ttl", "5s")
+	cl := fleet.NewClient(url)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := cl.Submit(fleet.JobSpec{
+		Target: "cpu", Task: "t",
+		DAG:      json.RawMessage(`{"synthetic":true}`),
+		Programs: []json.RawMessage{json.RawMessage(`["a"]`), json.RawMessage(`["b"]`)},
+	})
+	if err != nil || ack.Total != 2 {
+		t.Fatalf("submit: %+v err=%v", ack, err)
+	}
+	grant, err := cl.Lease(fleet.LeaseRequest{Worker: "w", Target: "cpu", Capacity: 4})
+	if err != nil || grant == nil || len(grant.Indices) != 2 {
+		t.Fatalf("lease: %+v err=%v", grant, err)
+	}
+	if _, err := cl.PostResults(fleet.ResultPost{Worker: "w", Job: grant.Job, Lease: grant.Lease,
+		Results: []fleet.WorkerResult{{Index: 0, Noiseless: 1}, {Index: 1, Noiseless: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Job(ack.ID)
+	if err != nil || !st.Done {
+		t.Fatalf("poll: %+v err=%v", st, err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if !strings.Contains(out.String(), "broker listening") || !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing broker lifecycle output:\n%s", out.String())
+	}
+}
+
+// TestServeAuthToken: -auth-token guards publishes; the token rides
+// the client URL's userinfo.
+func TestServeAuthToken(t *testing.T) {
+	url, _, shutdown := startServe(t, "-store", "", "-auth-token", "hunter2")
+	defer shutdown()
+	open := regserver.NewClient(url)
+	if _, err := open.Add(measure.Record{
+		Task: "op", Target: "cpu", DAG: "d",
+		Steps: []byte(`[{"i":1}]`), Seconds: 1, Noiseless: 1,
+	}); err == nil {
+		t.Fatal("tokenless publish should be refused")
+	}
+	if err := open.Ping(); err != nil {
+		t.Fatalf("reads should stay open: %v", err)
+	}
+	authed := regserver.NewClient(strings.Replace(url, "http://", "http://:hunter2@", 1))
+	if ok, err := authed.Add(measure.Record{
+		Task: "op", Target: "cpu", DAG: "d",
+		Steps: []byte(`[{"i":1}]`), Seconds: 1, Noiseless: 1,
+	}); err != nil || !ok {
+		t.Fatalf("token-in-URL publish: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestServeAutoCompact: -compact-over rewrites an oversize store
+// through the top-k + slow-tail compactor on the maintenance tick.
+func TestServeAutoCompact(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "registry.json")
+	url, _, shutdown := startServe(t,
+		"-store", store, "-snapshot-every", "30ms", "-compact-over", "1", "-compact-top-k", "2")
+	cl := regserver.NewClient(url)
+	// Descending times: every publish improves the key and appends.
+	for i := 0; i < 24; i++ {
+		if _, err := cl.Add(measure.Record{
+			Task: "op", Target: "cpu", DAG: "d",
+			Steps:   []byte(fmt.Sprintf(`[{"i":%d}]`, i)),
+			Seconds: float64(100 - i), Noiseless: float64(100 - i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, err := cl.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.AutoCompactions >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no auto compaction within 5s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := measure.LoadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) > 4 || len(l.Records) < 2 {
+		t.Fatalf("compacted store has %d records, want 2..4 (top-2 + tail sample)", len(l.Records))
+	}
+	// The best record survives compaction.
+	best := l.Records[0].Seconds
+	for _, r := range l.Records {
+		if r.Seconds < best {
+			best = r.Seconds
+		}
+	}
+	if best != 77 {
+		t.Errorf("best after compaction = %g, want 77", best)
+	}
+}
+
+func TestFleetAndServeFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"serve", "-compact-over", "-3"}, &out, &out, nil); err == nil {
+		t.Error("negative -compact-over should fail")
+	}
+	if err := run(context.Background(), []string{"serve", "-compact-top-k", "0"}, &out, &out, nil); err == nil {
+		t.Error("zero -compact-top-k should fail")
+	}
+	if err := run(context.Background(), []string{"fleet", "-addr", "256.0.0.1:99999"}, &out, &out, nil); err == nil {
+		t.Error("unbindable fleet address should fail")
 	}
 }

@@ -14,7 +14,13 @@
 //	ansor-tune -workload GMM.s1 -warm-start tune.json                        # start informed by a local log
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -warm-start registry
 //	ansor-tune -workload GMM.s1 -warm-start tune.json,http://127.0.0.1:8421  # merged warm start
+//	ansor-tune -workload GMM.s1 -warm-start big.json -warm-start-limit 100   # bounded warm start
+//	ansor-tune -workload GMM.s1 -fleet-url http://127.0.0.1:8521             # measure on a worker fleet
 //	ansor-tune -list
+//
+// Fleet measurement (-fleet-url) needs a broker (`ansor-registry
+// fleet`) and at least one `ansor-worker` for the tuned target; the
+// tuning output is bit-identical to a local run at any worker count.
 package main
 
 import (
@@ -53,7 +59,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		resume    = fs.String("resume", "", "resume from this tuning log: logged programs replay without re-measuring; with the same seed/options the run is bit-identical to an uninterrupted one (implies -log to the same file unless -log is set)")
 		warmStart = fs.String("warm-start", "", "seed each task's cost model and best pool from tuning history before the first round; takes a log/registry file, a registry server URL (task-filtered fleet history), the literal 'registry' for the -registry-url server, or a comma-separated mix; sibling-target records transfer into the model only, time-calibrated and discounted")
 		applyBest = fs.String("apply-best", "", "skip searching: replay the best recorded schedule for the workload/network with zero trials; takes a log/registry file, a registry server URL, or the literal 'registry' for the -registry-url server")
+		wsLimit   = fs.Int("warm-start-limit", 0, "cap the records each warm-start source contributes per task, subsampled training-representatively (top-k fastest + slow tail); 0 = unbounded")
 		regURL    = fs.String("registry-url", "", "publish every fresh measurement to this ansor-registry server (e.g. http://127.0.0.1:8421) so concurrent tuning jobs accumulate one shared registry")
+		fleetURL  = fs.String("fleet-url", "", "measure on a distributed worker fleet via this broker (ansor-registry fleet) instead of in-process; output is bit-identical to a local run at any worker count")
 		list      = fs.Bool("list", false, "list available workloads and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -101,8 +109,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	opts := ansor.TuningOptions{
 		Trials: *trials, MeasuresPerRound: *perRound, Seed: *seed, Workers: *workers,
 		RecordTo: *logTo, ResumeFrom: *resume,
-		WarmStartFrom: *warmStart, ApplyHistoryBest: *applyBest,
-		RegistryURL: *regURL,
+		WarmStartFrom: *warmStart, WarmStartLimit: *wsLimit, ApplyHistoryBest: *applyBest,
+		RegistryURL: *regURL, FleetURL: *fleetURL,
 	}
 	if *logTo != "" {
 		// The scheduler checkpoint lives beside the log so a network

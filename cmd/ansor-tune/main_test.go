@@ -2,17 +2,22 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/measure"
 	"repro/internal/registry"
 	"repro/internal/regserver"
+	"repro/internal/sim"
 )
 
 // exec drives the CLI in-process and returns its stdout.
@@ -330,5 +335,66 @@ func TestWarmStartCLIRoundTrip(t *testing.T) {
 	}
 	if err := run([]string{"-workload", "GMM.s1", "-warm-start", "http://127.0.0.1:1"}, &out, &errb); err == nil {
 		t.Error("-warm-start against an unreachable server must fail fast")
+	}
+}
+
+// TestFleetCLIRoundTrip drives -fleet-url end to end: a broker and two
+// mixed-capacity workers run in-process, and the fleet-measured tuning
+// output must be byte-identical to the local run's.
+func TestFleetCLIRoundTrip(t *testing.T) {
+	broker := fleet.NewBroker()
+	hs := httptest.NewServer(broker.Handler())
+	defer hs.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	machine := sim.IntelXeon() // -target intel
+	for i, capy := range []int{2, 4} {
+		w := fleet.NewWorker(hs.URL, fmt.Sprintf("cli-w%d", i), machine, capy)
+		w.PollInterval = time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	args := []string{"-workload", "GMM.s1", "-trials", "16", "-per-round", "8", "-seed", "4"}
+	local := exec(t, args...)
+	viaFleet := exec(t, append(args, "-fleet-url", hs.URL)...)
+	if local != viaFleet {
+		t.Errorf("fleet-measured CLI output diverged from local:\n--- local\n%s\n--- fleet\n%s", local, viaFleet)
+	}
+	m, err := fleet.NewClient(hs.URL).Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsCompleted == 0 {
+		t.Error("the fleet run should have completed jobs on the broker")
+	}
+
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "GMM.s1", "-fleet-url", "http://127.0.0.1:1"}, &out, &errb); err == nil {
+		t.Error("-fleet-url against an unreachable broker must fail fast")
+	}
+}
+
+// TestWarmStartLimitCLI: -warm-start-limit caps the absorbed history
+// deterministically; the run still spends its full fresh budget.
+func TestWarmStartLimitCLI(t *testing.T) {
+	dir := t.TempDir()
+	logFile := filepath.Join(dir, "history.json")
+	exec(t, "-workload", "GMM.s1", "-trials", "16", "-per-round", "8", "-seed", "5", "-log", logFile)
+
+	args := []string{"-workload", "GMM.s1", "-trials", "8", "-per-round", "8", "-seed", "6",
+		"-warm-start", logFile, "-warm-start-limit", "4"}
+	first := exec(t, args...)
+	if !strings.Contains(first, "(8 fresh trials)") {
+		t.Fatalf("limited warm start should spend its full fresh budget:\n%s", first)
+	}
+	if second := exec(t, args...); second != first {
+		t.Error("limited warm start must be deterministic across runs")
 	}
 }

@@ -1,0 +1,107 @@
+// Command ansor-worker is one measurement device of the distributed
+// fleet: it hosts an analytic machine model (the stand-in for one
+// physical board of the paper's measurement farm), polls the broker for
+// leased slices of measurement batches, times each program, and posts
+// the results back. Run as many workers as you have "boards" — the
+// broker shards batches across every worker registered for the job's
+// target, requeues slices when a worker dies mid-batch, and tuning
+// output stays bit-identical to a local run regardless (see DESIGN.md,
+// "Measurement fleet").
+//
+// Examples:
+//
+//	ansor-registry fleet -addr 127.0.0.1:8521
+//	ansor-worker -broker http://127.0.0.1:8521 -target intel -capacity 4 -seed 1
+//	ansor-worker -broker http://127.0.0.1:8521 -target gpu -capacity 8 -seed 2
+//	ansor-worker -broker http://:s3cret@127.0.0.1:8521 -target arm   # token-guarded broker
+//	ansor-tune -workload GMM.s1 -fleet-url http://127.0.0.1:8521
+//
+// Workers never roll measurement noise (that is derived by the
+// submitting run from its tuning seed) and never record tuning logs
+// (records belong to the submitting run); a worker is a pure
+// program-timing service.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/regserver"
+	"repro/internal/sim"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "ansor-worker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// machineFor resolves a -target flag value: the CLI aliases ansor-tune
+// uses, or a machine-model name (sim.Machine.Name) directly.
+func machineFor(target string) (*sim.Machine, error) {
+	switch target {
+	case "intel":
+		return sim.IntelXeon(), nil
+	case "intel-avx512":
+		return sim.IntelXeonAVX512(), nil
+	case "arm":
+		return sim.ARMCortexA53(), nil
+	case "gpu":
+		return sim.NVIDIAV100(), nil
+	}
+	if m, ok := sim.ByName(target); ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("unknown target %q (want intel, intel-avx512, arm, gpu, or a machine-model name)", target)
+}
+
+// run is the whole CLI; main only maps its error to an exit code and
+// wires OS signals into ctx, so tests drive the binary in-process.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ansor-worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		broker   = fs.String("broker", "http://127.0.0.1:8521", "measurement broker URL (ansor-registry fleet); a bearer token may be embedded as http://:TOKEN@host")
+		target   = fs.String("target", "intel", "hosted machine model: intel, intel-avx512, arm, gpu, or a model name like intel-20c-avx2")
+		capacity = fs.Int("capacity", 4, "programs per lease: how much of a batch this worker takes in one bite")
+		seed     = fs.Int64("seed", 1, "worker identity seed: distinguishes workers of the same target in the broker's failure accounting (give every worker of a fleet a distinct seed); measurement itself is seed-free")
+		id       = fs.String("id", "", "explicit worker id (default <target>-w<seed>)")
+		poll     = fs.Duration("poll", 25*time.Millisecond, "idle delay between lease polls")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *capacity < 1 {
+		return fmt.Errorf("-capacity must be positive, got %d", *capacity)
+	}
+	m, err := machineFor(*target)
+	if err != nil {
+		return err
+	}
+	wid := *id
+	if wid == "" {
+		wid = fmt.Sprintf("%s-w%d", m.Name, *seed)
+	}
+	w := fleet.NewWorker(*broker, wid, m, *capacity)
+	w.PollInterval = *poll
+	if err := w.Ping(); err != nil {
+		return err
+	}
+	// Never echo the broker URL verbatim: it may embed the auth token.
+	display, _ := regserver.SplitTokenURL(*broker)
+	fmt.Fprintf(stdout, "ansor-worker: %s serving target %s (capacity %d) from %s\n",
+		wid, m.Name, *capacity, display)
+	err = w.Run(ctx)
+	fmt.Fprintf(stdout, "ansor-worker: %s stopping\n", wid)
+	return err
+}

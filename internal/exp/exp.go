@@ -12,8 +12,10 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/baselines"
+	"repro/internal/fleet"
 	"repro/internal/measure"
 	"repro/internal/policy"
 	"repro/internal/regserver"
@@ -62,10 +64,62 @@ type Config struct {
 	// deliberately changes results — unlike Resume, which replays the
 	// cold trajectory.
 	WarmStart string
+	// WarmStartLimit caps the records each warm-start source
+	// contributes per task (0 = unbounded); see
+	// ansor.TuningOptions.WarmStartLimit.
+	WarmStartLimit int
+	// FleetURL runs every search framework's measurements on the
+	// distributed fleet behind this broker URL instead of in-process
+	// (ConnectFleet pings it eagerly). Figures are bit-identical with or
+	// without it — the fleet changes where the machine model runs, never
+	// what it returns.
+	FleetURL string
 
 	// warmSrc is the resolved WarmStart source, shared by every figure
 	// run off this config.
 	warmSrc warm.Source
+	// fleetMs tracks every RemoteMeasurer built off this config (the
+	// pointer is shared across the by-value copies the figure runners
+	// take), so FleetErr can surface a mid-run broker failure — a
+	// fleet-measured figure with silently skipped batches is exactly the
+	// divergent run ansor.TuneNetwork refuses to return.
+	fleetMs *fleetMeasurers
+}
+
+type fleetMeasurers struct {
+	mu sync.Mutex
+	ms []*fleet.RemoteMeasurer
+}
+
+// ConnectFleet pings the FleetURL broker eagerly so a bad URL fails
+// before any tuning work, and arms FleetErr tracking. No-op without
+// one.
+func (c *Config) ConnectFleet() error {
+	if c.FleetURL == "" {
+		return nil
+	}
+	if err := fleet.NewClient(c.FleetURL).Ping(); err != nil {
+		return err
+	}
+	c.fleetMs = &fleetMeasurers{}
+	return nil
+}
+
+// FleetErr returns the first broker failure any of the config's remote
+// measurers latched; callers check it after their figures, the way they
+// check Recorder.Close. Always nil for local measurement.
+func (c Config) FleetErr() error {
+	if c.fleetMs == nil {
+		return nil
+	}
+	c.fleetMs.mu.Lock()
+	defer c.fleetMs.mu.Unlock()
+	for _, rm := range c.fleetMs.ms {
+		if err := rm.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ConnectWarmStart resolves the WarmStart spec eagerly (a bad path or
@@ -74,7 +128,7 @@ func (c *Config) ConnectWarmStart() error {
 	if c.WarmStart == "" {
 		return nil
 	}
-	src, err := warm.Open(c.WarmStart, c.RegistryURL)
+	src, err := warm.Open(c.WarmStart, c.RegistryURL, c.WarmStartLimit)
 	if err != nil {
 		return err
 	}
@@ -116,8 +170,20 @@ func (c *Config) ConnectRegistry(seedLogs ...string) error {
 }
 
 // measurer builds a measurer wired to the config's worker setting and
-// persistence sinks.
-func (c Config) measurer(m *sim.Machine, seed int64) *measure.Measurer {
+// persistence sinks: in-process, or remote when FleetURL is set.
+func (c Config) measurer(m *sim.Machine, seed int64) measure.Interface {
+	if c.FleetURL != "" {
+		rm := fleet.NewRemoteMeasurer(c.FleetURL, m.Name, c.Noise, seed)
+		rm.Workers = c.Workers
+		rm.Recorder = c.Recorder
+		rm.Cache = c.Cache
+		if c.fleetMs != nil {
+			c.fleetMs.mu.Lock()
+			c.fleetMs.ms = append(c.fleetMs.ms, rm)
+			c.fleetMs.mu.Unlock()
+		}
+		return rm
+	}
 	ms := measure.New(m, c.Noise, seed)
 	ms.Workers = c.Workers
 	ms.Recorder = c.Recorder
@@ -336,8 +402,8 @@ func wins(rows []NormalizedRow, fw Framework, tol float64) int {
 
 // netTaskPolicies builds one policy per network task.
 func netTaskPolicies(net workloads.Network, plat Platform, cfg Config,
-	mk func(policy.Task, *measure.Measurer, int64) (*policy.Policy, error),
-	ms *measure.Measurer) ([]*policy.Policy, error) {
+	mk func(policy.Task, measure.Interface, int64) (*policy.Policy, error),
+	ms measure.Interface) ([]*policy.Policy, error) {
 	var out []*policy.Policy
 	for i, task := range net.Tasks {
 		p, err := mk(policy.Task{

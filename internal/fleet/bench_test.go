@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/anno"
+	"repro/internal/measure"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+	"repro/internal/te"
+)
+
+// BenchmarkFleetMeasure compares one 64-program measurement batch
+// in-process against a loopback fleet at 1/2/4 workers — the price of
+// the HTTP hop and lease round trips, and how worker parallelism buys
+// it back. CI converts the sweep into the BENCH_pr5.json artifact. The
+// in-process case runs single-threaded (Workers=1) so the comparison is
+// transport overhead, not core count.
+func BenchmarkFleetMeasure(b *testing.B) {
+	machine := sim.IntelXeon()
+	bb := te.NewBuilder("mm")
+	a := bb.Input("A", 64, 64)
+	bb.Matmul(a, 64, true)
+	d := bb.MustFinish()
+	gen := sketch.NewGenerator(sketch.CPUTarget())
+	sks, err := gen.Generate(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := anno.NewSampler(sketch.CPUTarget(), 7).SamplePopulation(sks, 64)
+
+	b.Run("local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms := measure.New(machine, 0.02, 3)
+			ms.Workers = 1
+			ms.MeasureTask("mm", states)
+		}
+		reportBatch(b, len(states))
+	})
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("fleet-workers=%d", workers), func(b *testing.B) {
+			broker := NewBroker()
+			hs := httptest.NewServer(broker.Handler())
+			defer hs.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				w := NewWorker(hs.URL, fmt.Sprintf("bench-w%d", i), machine, 16)
+				w.PollInterval = time.Millisecond
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = w.Run(ctx)
+				}()
+			}
+			defer wg.Wait()
+			defer cancel()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rm := NewRemoteMeasurer(hs.URL, machine.Name, 0.02, 3)
+				rm.PollInterval = time.Millisecond
+				rm.Timeout = time.Minute
+				res := rm.MeasureTask("mm", states)
+				if err := rm.Err(); err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+			reportBatch(b, len(states))
+		})
+	}
+}
+
+func reportBatch(b *testing.B, n int) {
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "programs/s")
+}

@@ -1,0 +1,478 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/regserver"
+)
+
+// maxBody bounds one request body (a job submission or result post).
+const maxBody = 64 << 20
+
+// Broker is the measurement-fleet coordinator: it accepts measurement
+// jobs from submitters, leases slices of them to compatible workers,
+// requeues slices whose lease expired, quarantines repeat-offender
+// workers, and reassembles results in submission order. All state is
+// in-memory: jobs are transient by design (the submitter holds the
+// programs and re-submits after a broker restart), unlike the registry
+// server's durable best-schedule store.
+//
+// Lease accounting is lazy: expiries are reaped at the top of every
+// mutating request and every poll, so the broker needs no background
+// goroutine and a test can drive time purely through requests.
+type Broker struct {
+	// LeaseTTL is how long a worker may sit on a lease before its slice
+	// is requeued on another worker (default 30s). Deployments size it
+	// to a couple of worst-case batch measurements; stragglers that beat
+	// the replacement worker still win — first completion counts.
+	LeaseTTL time.Duration
+	// MaxFailures is how many expired leases a worker may accumulate
+	// before it is quarantined and refused further leases (default 3).
+	MaxFailures int
+	// AuthToken, when non-empty, requires `Authorization: Bearer
+	// <token>` on every endpoint that mutates or reads job state (job
+	// submission/poll/delete, leases, results) — the same check the
+	// registry server applies to publishes. Only /healthz and /metrics
+	// stay open.
+	AuthToken string
+	// MaxDoneJobs bounds how many completed-but-unacknowledged jobs are
+	// retained (default 256). Completed jobs live until the submitter
+	// acknowledges them with DELETE /v1/jobs/{id}; the cap evicts the
+	// oldest if a submitter dies without acknowledging, so a long-lived
+	// broker cannot leak memory.
+	MaxDoneJobs int
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string // submission order; leases scan oldest-first
+	done     []string // completion order; MaxDoneJobs evicts oldest
+	workers  map[string]*workerState
+	nextJob  int64
+	nextID   int64 // lease ids
+
+	submitted     int64
+	completedJobs int64
+	expiries      int64
+	dups          int64
+
+	started time.Time
+	mux     *http.ServeMux
+}
+
+type job struct {
+	id       string
+	target   string
+	task     string
+	dag      json.RawMessage
+	programs []json.RawMessage
+
+	results   []UnitResult
+	completed int
+	queue     []int // indices awaiting a lease, FIFO
+	leases    map[int64]*lease
+}
+
+func (j *job) done() bool { return j.completed == len(j.programs) }
+
+type lease struct {
+	id       int64
+	worker   string
+	indices  []int
+	deadline time.Time
+}
+
+type workerState struct {
+	id          string
+	target      string
+	capacity    int
+	completed   int64
+	failures    int
+	quarantined bool
+}
+
+// NewBroker returns a broker with default lease TTL and quarantine
+// threshold.
+func NewBroker() *Broker {
+	b := &Broker{
+		LeaseTTL:    30 * time.Second,
+		MaxFailures: 3,
+		MaxDoneJobs: 256,
+		jobs:        map[string]*job{},
+		workers:     map[string]*workerState{},
+		started:     time.Now(),
+	}
+	b.routes()
+	return b
+}
+
+// Handler returns the HTTP handler serving the fleet API.
+func (b *Broker) Handler() http.Handler { return b.mux }
+
+func (b *Broker) routes() {
+	b.mux = http.NewServeMux()
+	b.mux.HandleFunc("/healthz", b.handleHealth)
+	b.mux.HandleFunc("/v1/jobs", b.handleSubmit)
+	b.mux.HandleFunc("/v1/jobs/", b.handleJob)
+	b.mux.HandleFunc("/v1/lease", b.handleLease)
+	b.mux.HandleFunc("/v1/results", b.handleResults)
+	b.mux.HandleFunc("/metrics", b.handleMetrics)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses one bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "parse body: %v", err)
+		return false
+	}
+	return true
+}
+
+// authorized applies the broker's bearer check (shared with the
+// registry server) to a mutating request.
+func (b *Broker) authorized(w http.ResponseWriter, r *http.Request) bool {
+	if regserver.BearerOK(r, b.AuthToken) {
+		return true
+	}
+	writeError(w, http.StatusUnauthorized, "missing or wrong bearer token")
+	return false
+}
+
+// reapLocked requeues the slices of every expired lease and charges the
+// failure to the lease's worker; workers reaching MaxFailures are
+// quarantined. Callers hold b.mu.
+func (b *Broker) reapLocked(now time.Time) {
+	for _, j := range b.jobs {
+		for id, l := range j.leases {
+			if now.Before(l.deadline) {
+				continue
+			}
+			delete(j.leases, id)
+			b.expiries++
+			for _, idx := range l.indices {
+				if !j.results[idx].Done {
+					j.queue = append(j.queue, idx)
+				}
+			}
+			if ws := b.workers[l.worker]; ws != nil {
+				ws.failures++
+				if b.MaxFailures > 0 && ws.failures >= b.MaxFailures {
+					ws.quarantined = true
+				}
+			}
+		}
+	}
+}
+
+func (b *Broker) handleHealth(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	jobs, workers := len(b.jobs), len(b.workers)
+	b.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "jobs": jobs, "workers": workers})
+}
+
+func (b *Broker) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a job to %s", r.URL.Path)
+		return
+	}
+	if !b.authorized(w, r) {
+		return
+	}
+	var spec JobSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	if spec.Target == "" {
+		writeError(w, http.StatusBadRequest, "job needs a target")
+		return
+	}
+	if len(spec.Programs) == 0 {
+		writeError(w, http.StatusBadRequest, "job carries no programs")
+		return
+	}
+	if len(spec.DAG) == 0 || string(spec.DAG) == "null" {
+		writeError(w, http.StatusBadRequest, "job carries no dag")
+		return
+	}
+	b.mu.Lock()
+	b.nextJob++
+	b.submitted++
+	j := &job{
+		id:       fmt.Sprintf("job-%d", b.nextJob),
+		target:   spec.Target,
+		task:     spec.Task,
+		dag:      spec.DAG,
+		programs: spec.Programs,
+		results:  make([]UnitResult, len(spec.Programs)),
+		leases:   map[int64]*lease{},
+	}
+	j.queue = make([]int, len(spec.Programs))
+	for i := range j.queue {
+		j.queue[i] = i
+	}
+	b.jobs[j.id] = j
+	b.jobOrder = append(b.jobOrder, j.id)
+	b.mu.Unlock()
+	writeJSON(w, http.StatusOK, JobAck{ID: j.id, Total: len(spec.Programs)})
+}
+
+// handleJob answers a submitter's poll (GET) or acknowledgement
+// (DELETE). Results appear on every poll once the job is done —
+// delivery is idempotent, so a poll response lost to a timeout or a
+// dropped connection costs a retry, never the measurements. The
+// submitter acknowledges with DELETE once it holds the results; jobs
+// whose submitter died unacknowledged are evicted oldest-first past
+// MaxDoneJobs. Both verbs carry job results or destroy job state, so
+// both sit behind the bearer check.
+func (b *Broker) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
+		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE %s", r.URL.Path)
+		return
+	}
+	if !b.authorized(w, r) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "bad job id %q", id)
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reapLocked(time.Now())
+	j, ok := b.jobs[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q (acknowledged and evicted jobs are forgotten)", id)
+		return
+	}
+	if r.Method == http.MethodDelete {
+		b.dropJobLocked(id)
+		writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+		return
+	}
+	st := JobStatus{
+		ID: j.id, Target: j.target, Task: j.task,
+		Total: len(j.programs), Completed: j.completed, Done: j.done(),
+	}
+	if st.Done {
+		st.Results = j.results
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// dropJobLocked removes a job from every index. Callers hold b.mu.
+func (b *Broker) dropJobLocked(id string) {
+	delete(b.jobs, id)
+	for i, jid := range b.jobOrder {
+		if jid == id {
+			b.jobOrder = append(b.jobOrder[:i], b.jobOrder[i+1:]...)
+			break
+		}
+	}
+	for i, jid := range b.done {
+		if jid == id {
+			b.done = append(b.done[:i], b.done[i+1:]...)
+			break
+		}
+	}
+}
+
+func (b *Broker) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a lease request to %s", r.URL.Path)
+		return
+	}
+	if !b.authorized(w, r) {
+		return
+	}
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" || req.Target == "" {
+		writeError(w, http.StatusBadRequest, "lease request needs worker and target")
+		return
+	}
+	if req.Capacity < 1 {
+		req.Capacity = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reapLocked(time.Now())
+	ws := b.workers[req.Worker]
+	if ws == nil {
+		ws = &workerState{id: req.Worker}
+		b.workers[req.Worker] = ws
+	}
+	ws.target = req.Target
+	ws.capacity = req.Capacity
+	if ws.quarantined {
+		writeError(w, http.StatusForbidden, "worker %q is quarantined after %d lease failures", req.Worker, ws.failures)
+		return
+	}
+	// Oldest job first, exact target compatibility: a worker hosting
+	// intel-20c-avx2 never times an avx512 job, however idle it is.
+	for _, id := range b.jobOrder {
+		j := b.jobs[id]
+		if j.target != req.Target || len(j.queue) == 0 {
+			continue
+		}
+		n := req.Capacity
+		if n > len(j.queue) {
+			n = len(j.queue)
+		}
+		indices := append([]int(nil), j.queue[:n]...)
+		j.queue = j.queue[n:]
+		b.nextID++
+		l := &lease{
+			id:       b.nextID,
+			worker:   req.Worker,
+			indices:  indices,
+			deadline: time.Now().Add(b.LeaseTTL),
+		}
+		j.leases[l.id] = l
+		grant := LeaseGrant{
+			Lease: l.id, Job: j.id, Task: j.task, Target: j.target,
+			DAG: j.dag, Indices: indices,
+		}
+		for _, idx := range indices {
+			grant.Programs = append(grant.Programs, j.programs[idx])
+		}
+		writeJSON(w, http.StatusOK, grant)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST results to %s", r.URL.Path)
+		return
+	}
+	if !b.authorized(w, r) {
+		return
+	}
+	var post ResultPost
+	if !decodeBody(w, r, &post) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasDone := false
+	j, ok := b.jobs[post.Job]
+	if ok {
+		wasDone = j.done()
+	}
+	if !ok {
+		// The job finished (possibly via a requeued slice) and was
+		// fetched; a straggler's late results are meaningless but not an
+		// error — deterministic measurement means they matched anyway.
+		writeJSON(w, http.StatusOK, ResultAck{})
+		return
+	}
+	accepted := 0
+	for _, wr := range post.Results {
+		if wr.Index < 0 || wr.Index >= len(j.results) {
+			writeError(w, http.StatusBadRequest, "result index %d out of range (job %s has %d programs)",
+				wr.Index, j.id, len(j.programs))
+			return
+		}
+		if j.results[wr.Index].Done {
+			b.dups++
+			continue
+		}
+		j.results[wr.Index] = UnitResult{Done: true, Noiseless: wr.Noiseless, Err: wr.Err}
+		j.completed++
+		accepted++
+		// The index may have been requeued after this worker's lease
+		// expired; completing it must also pull it out of the queue, or
+		// a later lease would hand out an already-done program.
+		for qi, idx := range j.queue {
+			if idx == wr.Index {
+				j.queue = append(j.queue[:qi], j.queue[qi+1:]...)
+				break
+			}
+		}
+	}
+	delete(j.leases, post.Lease)
+	if ws := b.workers[post.Worker]; ws != nil {
+		ws.completed += int64(accepted)
+	}
+	// Count and enqueue the completion only on the transition: a
+	// straggler posting duplicates into an already-done job must not
+	// double-count it (jobs_completed <= jobs_submitted is a dashboard
+	// invariant).
+	if !wasDone && j.done() {
+		b.completedJobs++
+		b.done = append(b.done, j.id)
+		max := b.MaxDoneJobs
+		if max <= 0 {
+			max = 256
+		}
+		for len(b.done) > max {
+			b.dropJobLocked(b.done[0])
+		}
+	}
+	writeJSON(w, http.StatusOK, ResultAck{Accepted: accepted})
+}
+
+func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET %s", r.URL.Path)
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reapLocked(time.Now())
+	m := Metrics{
+		Jobs:             len(b.jobs),
+		JobsSubmitted:    b.submitted,
+		JobsCompleted:    b.completedJobs,
+		LeaseExpiries:    b.expiries,
+		DuplicateResults: b.dups,
+		UptimeSeconds:    time.Since(b.started).Seconds(),
+	}
+	for _, j := range b.jobs {
+		m.ProgramsQueued += len(j.queue)
+		m.ProgramsCompleted += j.completed
+		for _, l := range j.leases {
+			m.ProgramsLeased += len(l.indices)
+		}
+	}
+	for _, id := range sortedWorkerIDs(b.workers) {
+		ws := b.workers[id]
+		m.Workers = append(m.Workers, WorkerStatus{
+			ID: ws.id, Target: ws.target, Capacity: ws.capacity,
+			Completed: ws.completed, Failures: ws.failures, Quarantined: ws.quarantined,
+		})
+		if ws.quarantined {
+			m.Quarantined++
+		}
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func sortedWorkerIDs(ws map[string]*workerState) []string {
+	ids := make([]string, 0, len(ws))
+	for id := range ws {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,320 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// synthetic job parts: the broker is content-agnostic (it never decodes
+// DAGs or steps), so protocol tests use opaque placeholders.
+func synthJob(target string, n int) JobSpec {
+	spec := JobSpec{Target: target, Task: "t", DAG: json.RawMessage(`{"synthetic":true}`)}
+	for i := 0; i < n; i++ {
+		spec.Programs = append(spec.Programs, json.RawMessage(fmt.Sprintf(`["p%d"]`, i)))
+	}
+	return spec
+}
+
+func testBroker(t *testing.T, mutate func(*Broker)) (*Broker, *Client) {
+	t.Helper()
+	b := NewBroker()
+	if mutate != nil {
+		mutate(b)
+	}
+	hs := httptest.NewServer(b.Handler())
+	t.Cleanup(hs.Close)
+	return b, NewClient(hs.URL)
+}
+
+// drain plays a well-behaved worker: lease until empty, posting the
+// index as the measured time so tests can check result placement.
+func drain(t *testing.T, cl *Client, worker, target string, capacity int) int {
+	t.Helper()
+	total := 0
+	for {
+		grant, err := cl.Lease(LeaseRequest{Worker: worker, Target: target, Capacity: capacity})
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if grant == nil {
+			return total
+		}
+		post := ResultPost{Worker: worker, Job: grant.Job, Lease: grant.Lease}
+		for _, idx := range grant.Indices {
+			post.Results = append(post.Results, WorkerResult{Index: idx, Noiseless: float64(idx + 1)})
+		}
+		if _, err := cl.PostResults(post); err != nil {
+			t.Fatalf("post results: %v", err)
+		}
+		total += len(grant.Indices)
+	}
+}
+
+func TestBrokerJobLifecycle(t *testing.T) {
+	_, cl := testBroker(t, nil)
+	ack, err := cl.Submit(synthJob("cpu", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Total != 5 || ack.ID == "" {
+		t.Fatalf("ack = %+v", ack)
+	}
+
+	st, err := cl.Job(ack.ID)
+	if err != nil || st.Done || st.Completed != 0 {
+		t.Fatalf("fresh job status: %+v err=%v", st, err)
+	}
+
+	grant, err := cl.Lease(LeaseRequest{Worker: "w1", Target: "cpu", Capacity: 2})
+	if err != nil || grant == nil {
+		t.Fatalf("lease: %+v err=%v", grant, err)
+	}
+	if !reflect.DeepEqual(grant.Indices, []int{0, 1}) || len(grant.Programs) != 2 {
+		t.Fatalf("first lease should carry indices 0,1: %+v", grant)
+	}
+	if string(grant.Programs[1]) != `["p1"]` {
+		t.Fatalf("lease program payload mismatch: %s", grant.Programs[1])
+	}
+	post := ResultPost{Worker: "w1", Job: grant.Job, Lease: grant.Lease,
+		Results: []WorkerResult{{Index: 0, Noiseless: 1}, {Index: 1, Noiseless: 2}}}
+	if ra, err := cl.PostResults(post); err != nil || ra.Accepted != 2 {
+		t.Fatalf("post: %+v err=%v", ra, err)
+	}
+	if n := drain(t, cl, "w1", "cpu", 2); n != 3 {
+		t.Fatalf("drain measured %d, want the remaining 3", n)
+	}
+
+	st, err = cl.Job(ack.ID)
+	if err != nil || !st.Done || st.Completed != 5 {
+		t.Fatalf("final status: %+v err=%v", st, err)
+	}
+	for i, r := range st.Results {
+		if !r.Done || r.Noiseless != float64(i+1) {
+			t.Fatalf("result %d misplaced: %+v", i, r)
+		}
+	}
+	// Delivery is idempotent: a poll response lost in transit costs a
+	// retry, not the measurements.
+	st2, err := cl.Job(ack.ID)
+	if err != nil || !st2.Done || len(st2.Results) != 5 {
+		t.Fatalf("re-poll of a done job must still carry results: %+v err=%v", st2, err)
+	}
+	// The submitter's acknowledgement releases the job.
+	if err := cl.Ack(ack.ID); err != nil {
+		t.Fatalf("ack: %v", err)
+	}
+	if _, err := cl.Job(ack.ID); err == nil {
+		t.Fatal("fetch after acknowledgement should 404")
+	}
+}
+
+// TestBrokerDoneJobEviction bounds the completed-but-unacknowledged
+// backlog: past MaxDoneJobs the oldest done job is evicted, so a dead
+// submitter cannot leak broker memory.
+func TestBrokerDoneJobEviction(t *testing.T) {
+	_, cl := testBroker(t, func(b *Broker) { b.MaxDoneJobs = 1 })
+	ack1, err := cl.Submit(synthJob("cpu", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := drain(t, cl, "w", "cpu", 1); n != 1 {
+		t.Fatal("drain job 1")
+	}
+	ack2, err := cl.Submit(synthJob("cpu", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := drain(t, cl, "w", "cpu", 1); n != 1 {
+		t.Fatal("drain job 2")
+	}
+	if _, err := cl.Job(ack1.ID); err == nil {
+		t.Error("oldest unacknowledged done job should have been evicted")
+	}
+	if st, err := cl.Job(ack2.ID); err != nil || !st.Done {
+		t.Errorf("newest done job must survive eviction: %+v err=%v", st, err)
+	}
+}
+
+func TestBrokerTargetCompatibility(t *testing.T) {
+	_, cl := testBroker(t, nil)
+	if _, err := cl.Submit(synthJob("intel-20c-avx2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := cl.Lease(LeaseRequest{Worker: "gpu-w", Target: "nvidia-v100", Capacity: 4})
+	if err != nil || grant != nil {
+		t.Fatalf("incompatible worker must get no lease: %+v err=%v", grant, err)
+	}
+	if n := drain(t, cl, "cpu-w", "intel-20c-avx2", 4); n != 2 {
+		t.Fatalf("compatible worker measured %d, want 2", n)
+	}
+}
+
+func TestBrokerLeaseExpiryRequeues(t *testing.T) {
+	b, cl := testBroker(t, func(b *Broker) { b.LeaseTTL = 30 * time.Millisecond })
+	ack, err := cl.Submit(synthJob("cpu", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker A takes a slice and dies (never posts).
+	grant, err := cl.Lease(LeaseRequest{Worker: "dead", Target: "cpu", Capacity: 2})
+	if err != nil || grant == nil || len(grant.Indices) != 2 {
+		t.Fatalf("zombie lease: %+v err=%v", grant, err)
+	}
+	time.Sleep(2 * b.LeaseTTL)
+	// Worker B drains everything, including the requeued slice.
+	if n := drain(t, cl, "alive", "cpu", 4); n != 3 {
+		t.Fatalf("replacement worker measured %d, want all 3", n)
+	}
+	st, err := cl.Job(ack.ID)
+	if err != nil || !st.Done {
+		t.Fatalf("job should complete after requeue: %+v err=%v", st, err)
+	}
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LeaseExpiries != 1 {
+		t.Errorf("lease expiries = %d, want 1", m.LeaseExpiries)
+	}
+	var dead *WorkerStatus
+	for i := range m.Workers {
+		if m.Workers[i].ID == "dead" {
+			dead = &m.Workers[i]
+		}
+	}
+	if dead == nil || dead.Failures != 1 || dead.Quarantined {
+		t.Errorf("dead worker accounting: %+v", dead)
+	}
+}
+
+func TestBrokerQuarantine(t *testing.T) {
+	b, cl := testBroker(t, func(b *Broker) {
+		b.LeaseTTL = 20 * time.Millisecond
+		b.MaxFailures = 2
+	})
+	if _, err := cl.Submit(synthJob("cpu", 4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		grant, err := cl.Lease(LeaseRequest{Worker: "flaky", Target: "cpu", Capacity: 1})
+		if err != nil || grant == nil {
+			t.Fatalf("flaky lease %d: %+v err=%v", i, grant, err)
+		}
+		time.Sleep(2 * b.LeaseTTL)
+		// Any request reaps; use a metrics poll like a dashboard would.
+		if _, err := cl.Metrics(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Lease(LeaseRequest{Worker: "flaky", Target: "cpu", Capacity: 1}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("third lease should be refused with ErrQuarantined, got %v", err)
+	}
+	// A healthy worker still drains the job, requeued slices included.
+	if n := drain(t, cl, "healthy", "cpu", 4); n != 4 {
+		t.Fatalf("healthy worker measured %d, want 4", n)
+	}
+	m, _ := cl.Metrics()
+	if m.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", m.Quarantined)
+	}
+}
+
+func TestBrokerDuplicateResultsDropped(t *testing.T) {
+	b, cl := testBroker(t, func(b *Broker) { b.LeaseTTL = 20 * time.Millisecond })
+	ack, err := cl.Submit(synthJob("cpu", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := cl.Lease(LeaseRequest{Worker: "slow", Target: "cpu", Capacity: 1})
+	if err != nil || grant == nil {
+		t.Fatal("straggler lease failed")
+	}
+	time.Sleep(2 * b.LeaseTTL)
+	if n := drain(t, cl, "fast", "cpu", 1); n != 1 {
+		t.Fatalf("replacement measured %d, want 1", n)
+	}
+	// The straggler wakes up and posts into the already-completed slot.
+	ra, err := cl.PostResults(ResultPost{Worker: "slow", Job: grant.Job, Lease: grant.Lease,
+		Results: []WorkerResult{{Index: 0, Noiseless: 1}}})
+	if err != nil || ra.Accepted != 0 {
+		t.Fatalf("late post should be dropped: %+v err=%v", ra, err)
+	}
+	m, _ := cl.Metrics()
+	if m.DuplicateResults != 1 {
+		t.Errorf("duplicate results = %d, want 1", m.DuplicateResults)
+	}
+	if m.JobsCompleted != 1 {
+		t.Errorf("jobs completed = %d, want 1 (a straggler's duplicate post must not double-count)", m.JobsCompleted)
+	}
+	if st, err := cl.Job(ack.ID); err != nil || !st.Done {
+		t.Fatalf("job: %+v err=%v", st, err)
+	}
+}
+
+func TestBrokerAuth(t *testing.T) {
+	b := NewBroker()
+	b.AuthToken = "s3cret"
+	hs := httptest.NewServer(b.Handler())
+	defer hs.Close()
+
+	open := NewClient(hs.URL)
+	if _, err := open.Submit(synthJob("cpu", 1)); err == nil {
+		t.Fatal("tokenless submit should be refused")
+	}
+	if _, err := open.Lease(LeaseRequest{Worker: "w", Target: "cpu", Capacity: 1}); err == nil {
+		t.Fatal("tokenless lease should be refused")
+	}
+	// Health stays open, like the registry server...
+	if err := open.Ping(); err != nil {
+		t.Fatalf("healthz should not need a token: %v", err)
+	}
+	// ...but job polls carry results and job deletes destroy them, so
+	// both sit behind the token.
+	if _, err := open.Job("job-1"); err == nil || !strings.Contains(err.Error(), "bearer") {
+		t.Fatalf("tokenless job poll should be refused, got %v", err)
+	}
+
+	// The token rides in the URL userinfo, shared syntax with -registry-url.
+	authed := NewClient("http://:s3cret@" + hs.Listener.Addr().String())
+	ack, err := authed.Submit(synthJob("cpu", 1))
+	if err != nil {
+		t.Fatalf("authed submit: %v", err)
+	}
+	if n := drain(t, authed, "w", "cpu", 1); n != 1 {
+		t.Fatalf("authed drain measured %d, want 1", n)
+	}
+	if st, err := authed.Job(ack.ID); err != nil || !st.Done {
+		t.Fatalf("authed poll: %+v err=%v", st, err)
+	}
+}
+
+func TestBrokerRejectsMalformedJobs(t *testing.T) {
+	_, cl := testBroker(t, nil)
+	for name, spec := range map[string]JobSpec{
+		"no target":   {DAG: json.RawMessage(`{}`), Programs: []json.RawMessage{json.RawMessage(`[]`)}},
+		"no programs": {Target: "cpu", DAG: json.RawMessage(`{}`)},
+		"no dag":      {Target: "cpu", Programs: []json.RawMessage{json.RawMessage(`[]`)}},
+	} {
+		if _, err := cl.Submit(spec); err == nil {
+			t.Errorf("submit with %s should fail", name)
+		}
+	}
+	// Out-of-range result indices must not crash or corrupt a job.
+	if _, err := cl.Submit(synthJob("cpu", 1)); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := cl.Lease(LeaseRequest{Worker: "w", Target: "cpu", Capacity: 1})
+	if err != nil || grant == nil {
+		t.Fatal("lease failed")
+	}
+	if _, err := cl.PostResults(ResultPost{Worker: "w", Job: grant.Job, Lease: grant.Lease,
+		Results: []WorkerResult{{Index: 7, Noiseless: 1}}}); err == nil {
+		t.Error("out-of-range result index should be rejected")
+	}
+}

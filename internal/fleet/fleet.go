@@ -1,0 +1,172 @@
+// Package fleet is the distributed measurement subsystem: a broker that
+// shards measurement batches across a fleet of remote worker processes,
+// and the client/worker halves that talk to it. It is this
+// reproduction's counterpart of the paper's measurer deployment — Ansor
+// never times candidate programs inside the search process; batches are
+// shipped over RPC to a farm of devices, which is what lets one search
+// loop saturate many boards and survive flaky hardware (§3, Figure 4).
+//
+// The moving parts:
+//
+//   - Broker — an HTTP service (hosted by `ansor-registry fleet`)
+//     holding submitted jobs. A job is one measurement batch: a target
+//     name, a wire-encoded computation DAG, and one encoded step list
+//     per program. The broker leases batch slices to compatible workers
+//     (exact target-name match), requeues slices whose lease expired
+//     (straggler/crash recovery), quarantines workers that keep failing,
+//     and reassembles results by submission index.
+//
+//   - Worker (cmd/ansor-worker) — hosts a sim.Machine, polls the broker
+//     for leases, replays + lowers + times each leased program, and
+//     posts NOISELESS times back. Workers are stateless and
+//     interchangeable: nothing a worker computes depends on worker
+//     identity.
+//
+//   - RemoteMeasurer — implements measure.Interface over the broker. It
+//     lowers programs locally (features and validity stay client-side),
+//     serves resume-cache hits locally, submits the rest as one job, and
+//     reapplies the deterministic (seed, signature)-keyed noise to the
+//     returned noiseless times — exactly how a cache-served result is
+//     reconstructed, so fleet-measured tuning runs are bit-identical to
+//     local runs at any worker count or assignment (DESIGN.md,
+//     "Measurement fleet").
+//
+// Determinism contract: the broker never orders results — it indexes
+// them; workers never roll noise — they report the pure machine-model
+// time; the client derives noise from (tuning seed, program signature)
+// alone. Which worker measured a program, how leases were sliced, and
+// how often a lease expired and was requeued are therefore all
+// invisible in the tuning output.
+package fleet
+
+import "encoding/json"
+
+// JobSpec is one submitted measurement batch (POST /v1/jobs).
+type JobSpec struct {
+	// Target names the machine model programs must be timed on; only
+	// workers registered with exactly this target are leased the job.
+	Target string `json:"target"`
+	// Task attributes the batch for observability; the broker never
+	// keys on it.
+	Task string `json:"task,omitempty"`
+	// DAG is the computation, wire-encoded by te.EncodeDAG.
+	DAG json.RawMessage `json:"dag"`
+	// Programs holds one ir.EncodeSteps step list per program.
+	Programs []json.RawMessage `json:"programs"`
+}
+
+// JobAck answers a job submission.
+type JobAck struct {
+	ID    string `json:"id"`
+	Total int    `json:"total"`
+}
+
+// LeaseRequest is a worker asking for work (POST /v1/lease). The first
+// lease a worker sends also registers it — there is no separate
+// registration endpoint, so a restarted worker just resumes polling.
+type LeaseRequest struct {
+	// Worker uniquely identifies the worker across the fleet; failure
+	// counters and quarantine key on it.
+	Worker string `json:"worker"`
+	// Target names the machine model this worker hosts.
+	Target string `json:"target"`
+	// Capacity bounds how many programs one lease may carry.
+	Capacity int `json:"capacity"`
+}
+
+// LeaseGrant hands a worker a slice of one job's batch. A grant expires
+// after the broker's lease TTL: results posted later are still accepted
+// for any program not yet completed elsewhere, but the slice is
+// requeued and the worker's failure counter bumped.
+type LeaseGrant struct {
+	Lease    int64             `json:"lease"`
+	Job      string            `json:"job"`
+	Task     string            `json:"task,omitempty"`
+	Target   string            `json:"target"`
+	DAG      json.RawMessage   `json:"dag"`
+	Indices  []int             `json:"indices"`
+	Programs []json.RawMessage `json:"programs"`
+}
+
+// WorkerResult is one measured program of a lease. Workers report the
+// machine model's exact time; noise is the submitting client's job (see
+// the package determinism contract).
+type WorkerResult struct {
+	Index     int     `json:"index"`
+	Noiseless float64 `json:"noiseless"`
+	// Err carries a replay/lowering failure for this program (the
+	// program's fault, not the worker's — it does not count toward
+	// quarantine).
+	Err string `json:"err,omitempty"`
+}
+
+// ResultPost returns a lease's results (POST /v1/results).
+type ResultPost struct {
+	Worker  string         `json:"worker"`
+	Job     string         `json:"job"`
+	Lease   int64          `json:"lease"`
+	Results []WorkerResult `json:"results"`
+}
+
+// ResultAck answers a result post.
+type ResultAck struct {
+	// Accepted counts results that completed a program; results for
+	// programs already completed by another worker (a requeued slice
+	// whose original worker turned out alive) are dropped as duplicates.
+	Accepted int `json:"accepted"`
+}
+
+// UnitResult is one program's outcome in a job status.
+type UnitResult struct {
+	Done      bool    `json:"done"`
+	Noiseless float64 `json:"noiseless,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// JobStatus answers a job poll (GET /v1/jobs/{id}). Results are indexed
+// by submission order and included on every poll once the job is done;
+// the submitter acknowledges receipt with DELETE /v1/jobs/{id}, and the
+// broker evicts unacknowledged done jobs past its retention cap.
+type JobStatus struct {
+	ID        string       `json:"id"`
+	Target    string       `json:"target"`
+	Task      string       `json:"task,omitempty"`
+	Total     int          `json:"total"`
+	Completed int          `json:"completed"`
+	Done      bool         `json:"done"`
+	Results   []UnitResult `json:"results,omitempty"`
+}
+
+// WorkerStatus is one worker's view in the broker metrics.
+type WorkerStatus struct {
+	ID          string `json:"id"`
+	Target      string `json:"target"`
+	Capacity    int    `json:"capacity"`
+	Completed   int64  `json:"completed"`
+	Failures    int    `json:"failures"`
+	Quarantined bool   `json:"quarantined"`
+}
+
+// Metrics is the broker's /metrics payload.
+type Metrics struct {
+	// Jobs currently held (queued, running, or done-but-unfetched).
+	Jobs int `json:"jobs"`
+	// JobsSubmitted / JobsCompleted over the broker's lifetime.
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	// Programs by state across all held jobs.
+	ProgramsQueued    int `json:"programs_queued"`
+	ProgramsLeased    int `json:"programs_leased"`
+	ProgramsCompleted int `json:"programs_completed"`
+	// LeaseExpiries counts slices requeued after their worker missed the
+	// TTL; DuplicateResults counts results dropped because another
+	// worker completed the program first (every expiry that turns out to
+	// be a straggler rather than a crash eventually shows up here too).
+	LeaseExpiries    int64 `json:"lease_expiries"`
+	DuplicateResults int64 `json:"duplicate_results"`
+	// Workers ever seen, and how many are currently quarantined.
+	Workers     []WorkerStatus `json:"workers"`
+	Quarantined int            `json:"quarantined"`
+	// UptimeSeconds since the broker was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}

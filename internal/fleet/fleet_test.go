@@ -1,0 +1,308 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/anno"
+	"repro/internal/ir"
+	"repro/internal/measure"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+	"repro/internal/te"
+)
+
+// sampleStates draws n distinct, complete, measurable programs of one
+// matmul task — the same sketch+annotation pipeline the search uses.
+func sampleStates(t *testing.T, n int) []*ir.State {
+	t.Helper()
+	b := te.NewBuilder("mm")
+	a := b.Input("A", 64, 64)
+	b.Matmul(a, 64, true)
+	d := b.MustFinish()
+	gen := sketch.NewGenerator(sketch.CPUTarget())
+	sks, err := gen.Generate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := anno.NewSampler(sketch.CPUTarget(), 7).SamplePopulation(sks, n)
+	if len(states) < n/2 {
+		t.Fatalf("sampled only %d states", len(states))
+	}
+	return states
+}
+
+// startWorkers runs real workers against the broker until test cleanup.
+func startWorkers(t *testing.T, brokerURL string, machine *sim.Machine, capacities ...int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i, capy := range capacities {
+		w := NewWorker(brokerURL, machine.Name+"-w"+string(rune('a'+i)), machine, capy)
+		w.PollInterval = time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+}
+
+func startBroker(t *testing.T, mutate func(*Broker)) string {
+	t.Helper()
+	b := NewBroker()
+	if mutate != nil {
+		mutate(b)
+	}
+	hs := httptest.NewServer(b.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+func remote(t *testing.T, url string, machine *sim.Machine, noise float64, seed int64) *RemoteMeasurer {
+	t.Helper()
+	rm := NewRemoteMeasurer(url, machine.Name, noise, seed)
+	rm.PollInterval = time.Millisecond
+	rm.Timeout = 30 * time.Second
+	return rm
+}
+
+// assertBitIdentical compares two result slices field by field; float
+// comparison is ==, i.e. bitwise for the same computation.
+func assertBitIdentical(t *testing.T, tag string, local, fleet []measure.Result) {
+	t.Helper()
+	if len(local) != len(fleet) {
+		t.Fatalf("%s: %d vs %d results", tag, len(local), len(fleet))
+	}
+	for i := range local {
+		l, f := local[i], fleet[i]
+		if (l.Err == nil) != (f.Err == nil) {
+			t.Fatalf("%s[%d]: err mismatch: local=%v fleet=%v", tag, i, l.Err, f.Err)
+		}
+		if l.Seconds != f.Seconds || l.NoiselessSeconds != f.NoiselessSeconds {
+			t.Fatalf("%s[%d]: times diverge: local=(%v,%v) fleet=(%v,%v)",
+				tag, i, l.Seconds, l.NoiselessSeconds, f.Seconds, f.NoiselessSeconds)
+		}
+		if l.State != f.State {
+			t.Fatalf("%s[%d]: out[i] must correspond to states[i]", tag, i)
+		}
+	}
+}
+
+func TestRemoteMeasurerBitIdenticalToLocal(t *testing.T) {
+	machine := sim.IntelXeon()
+	states := sampleStates(t, 24)
+	local := measure.New(machine, 0.02, 3).MeasureTask("mm", states)
+
+	// One worker.
+	url1 := startBroker(t, nil)
+	startWorkers(t, url1, machine, 4)
+	rm1 := remote(t, url1, machine, 0.02, 3)
+	assertBitIdentical(t, "1-worker", local, rm1.MeasureTask("mm", states))
+	if rm1.Trials() != len(states) {
+		t.Errorf("1-worker trials = %d, want %d", rm1.Trials(), len(states))
+	}
+	if err := rm1.Err(); err != nil {
+		t.Errorf("1-worker latched error: %v", err)
+	}
+
+	// Three workers, mixed capacities: sharding and assignment must be
+	// invisible in the output.
+	url3 := startBroker(t, nil)
+	startWorkers(t, url3, machine, 1, 2, 4)
+	rm3 := remote(t, url3, machine, 0.02, 3)
+	rm3.Workers = 3
+	assertBitIdentical(t, "3-worker", local, rm3.MeasureTask("mm", states))
+
+	// A worker fleet for a different target must never serve this batch;
+	// with only an incompatible worker alive the batch times out.
+	urlBad := startBroker(t, nil)
+	startWorkers(t, urlBad, sim.NVIDIAV100(), 4)
+	rmBad := remote(t, urlBad, machine, 0.02, 3)
+	rmBad.Timeout = 300 * time.Millisecond
+	res := rmBad.MeasureTask("mm", states[:2])
+	if res[0].Err == nil || rmBad.Err() == nil {
+		t.Error("batch against an incompatible-only fleet should fail and latch")
+	}
+}
+
+func TestRemoteMeasurerKillWorkerMidBatchRequeues(t *testing.T) {
+	machine := sim.IntelXeon()
+	states := sampleStates(t, 12)
+	local := measure.New(machine, 0.02, 5).MeasureTask("mm", states)
+
+	url := startBroker(t, func(b *Broker) { b.LeaseTTL = 80 * time.Millisecond })
+	cl := NewClient(url)
+
+	rm := remote(t, url, machine, 0.02, 5)
+	done := make(chan []measure.Result, 1)
+	go func() { done <- rm.MeasureTask("mm", states) }()
+
+	// A zombie worker grabs the first slice and dies with it: keep
+	// polling until the job exists and a grant lands.
+	var grabbed *LeaseGrant
+	for deadline := time.Now().Add(5 * time.Second); grabbed == nil; {
+		g, err := cl.Lease(LeaseRequest{Worker: "zombie", Target: machine.Name, Capacity: 3})
+		if err != nil {
+			t.Fatalf("zombie lease: %v", err)
+		}
+		if g != nil {
+			grabbed = g
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never became leasable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Only now start the real worker: the zombie's slice must expire and
+	// requeue onto it.
+	startWorkers(t, url, machine, 4)
+
+	fleetRes := <-done
+	assertBitIdentical(t, "requeued", local, fleetRes)
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LeaseExpiries < 1 {
+		t.Errorf("lease expiries = %d, want >= 1 (the zombie's slice)", m.LeaseExpiries)
+	}
+}
+
+func TestRemoteMeasurerServesCacheWithoutFleet(t *testing.T) {
+	machine := sim.IntelXeon()
+	states := sampleStates(t, 8)
+	local := measure.New(machine, 0.02, 9)
+	localRes := local.MeasureTask("mm", states)
+	log := measure.Log{}
+	if _, err := log.AddAll("mm", machine.Name, localRes); err != nil {
+		t.Fatal(err)
+	}
+	cache := measure.NewMeasuredSet()
+	cache.AddLog(&log)
+
+	// No worker is started: every program must be served from the cache
+	// without a single fleet round trip.
+	url := startBroker(t, nil)
+	rm := remote(t, url, machine, 0.02, 9)
+	rm.Timeout = 2 * time.Second
+	rm.Cache = cache
+	res := rm.MeasureTask("mm", states)
+	assertBitIdentical(t, "cached", localRes, res)
+	for i, r := range res {
+		if !r.Cached {
+			t.Fatalf("result %d not served from cache", i)
+		}
+	}
+	if rm.Trials() != 0 {
+		t.Errorf("cache-served batch cost %d trials, want 0", rm.Trials())
+	}
+}
+
+func TestRemoteMeasurerRecordsFreshMeasurements(t *testing.T) {
+	machine := sim.IntelXeon()
+	states := sampleStates(t, 6)
+	url := startBroker(t, nil)
+	startWorkers(t, url, machine, 2)
+	rm := remote(t, url, machine, 0.02, 3)
+	rec := measure.NewRecorder(nil)
+	rm.Recorder = rec
+	res := rm.MeasureTask("mm", states)
+	ok := 0
+	for _, r := range res {
+		if r.Err == nil && r.Seconds > 0 {
+			ok++
+		}
+	}
+	got := rec.Log().Records
+	if len(got) == 0 || len(got) > ok {
+		t.Fatalf("recorded %d records for %d successes", len(got), ok)
+	}
+	for _, r := range got {
+		if r.Target != machine.Name || r.Task != "mm" || r.Noiseless <= 0 {
+			t.Fatalf("bad record %+v", r)
+		}
+	}
+}
+
+func TestRemoteMeasurerBrokerDownLatches(t *testing.T) {
+	machine := sim.IntelXeon()
+	states := sampleStates(t, 4)
+	rm := NewRemoteMeasurer("http://127.0.0.1:1", machine.Name, 0.02, 1)
+	rm.Timeout = time.Second
+	res := rm.MeasureTask("mm", states)
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("result %d should carry the broker failure", i)
+		}
+	}
+	if err := rm.Err(); err == nil || !strings.Contains(err.Error(), "fleet") {
+		t.Fatalf("latched error = %v, want a fleet error", err)
+	}
+}
+
+func TestWorkerRunExitsOnQuarantine(t *testing.T) {
+	machine := sim.IntelXeon()
+	url := startBroker(t, func(b *Broker) {
+		b.LeaseTTL = 10 * time.Millisecond
+		b.MaxFailures = 1
+	})
+	cl := NewClient(url)
+	if _, err := cl.Submit(synthJob(machine.Name, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Quarantine the id by taking a lease under it and letting it rot.
+	if g, err := cl.Lease(LeaseRequest{Worker: "w-sick", Target: machine.Name, Capacity: 1}); err != nil || g == nil {
+		t.Fatalf("setup lease: %+v err=%v", g, err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := cl.Metrics(); err != nil { // trigger the reap
+		t.Fatal(err)
+	}
+	w := NewWorker(url, "w-sick", machine, 1)
+	w.PollInterval = time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("Run = %v, want quarantine exit", err)
+	}
+}
+
+// TestWorkerMeasurementMatchesMeasurer pins the worker's replay → lower
+// → time path to the in-process measurer on the wire-codec'd DAG.
+func TestWorkerMeasurementMatchesMeasurer(t *testing.T) {
+	machine := sim.IntelXeonAVX512()
+	states := sampleStates(t, 6)
+	encDAG, err := te.EncodeDAG(states[0].DAG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag, err := te.DecodeDAG(encDAG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := measure.New(machine, 0, 1)
+	for i, s := range states {
+		enc, err := ir.EncodeSteps(s.Steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NoiselessTime(machine, dag, enc)
+		if err != nil {
+			t.Fatalf("state %d: %v", i, err)
+		}
+		want := ms.Measure([]*ir.State{s})[0].NoiselessSeconds
+		if got != want {
+			t.Fatalf("state %d: worker time %v != measurer time %v", i, got, want)
+		}
+	}
+}

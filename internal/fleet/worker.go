@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/te"
+)
+
+// Worker is one measurement device of the fleet: it hosts a machine
+// model, polls the broker for leases, replays + lowers + times every
+// leased program, and posts the noiseless times back. Workers are
+// stateless — a worker can crash, restart, or be replaced at any time
+// and the broker's lease expiry puts its in-flight slice back in the
+// queue; nothing a worker computes depends on which worker it is.
+type Worker struct {
+	// ID uniquely identifies the worker to the broker (quarantine and
+	// failure accounting key on it).
+	ID string
+	// Machine is the hosted machine model; its name is the target the
+	// worker registers for.
+	Machine *sim.Machine
+	// Capacity bounds how many programs one lease may carry.
+	Capacity int
+	// PollInterval is the idle delay between lease polls (default 25ms).
+	PollInterval time.Duration
+
+	cl *Client
+}
+
+// NewWorker returns a worker for the broker at brokerURL.
+func NewWorker(brokerURL, id string, m *sim.Machine, capacity int) *Worker {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Worker{
+		ID:           id,
+		Machine:      m,
+		Capacity:     capacity,
+		PollInterval: 25 * time.Millisecond,
+		cl:           NewClient(brokerURL),
+	}
+}
+
+// Ping checks the broker is reachable.
+func (w *Worker) Ping() error { return w.cl.Ping() }
+
+// RunOnce performs one lease cycle: poll, measure, post. It reports
+// whether any work was done; (false, nil) means the broker had nothing
+// for this worker's target.
+func (w *Worker) RunOnce() (bool, error) {
+	grant, err := w.cl.Lease(LeaseRequest{Worker: w.ID, Target: w.Machine.Name, Capacity: w.Capacity})
+	if err != nil {
+		return false, err
+	}
+	if grant == nil {
+		return false, nil
+	}
+	post := ResultPost{Worker: w.ID, Job: grant.Job, Lease: grant.Lease}
+	dag, err := te.DecodeDAG(grant.DAG)
+	if err != nil {
+		// A bad DAG fails every program of the slice as a program error:
+		// it would fail identically on every other worker, so requeueing
+		// (by abandoning the lease) would only burn the fleet's patience
+		// quota on a poisoned job.
+		for _, idx := range grant.Indices {
+			post.Results = append(post.Results, WorkerResult{Index: idx, Err: err.Error()})
+		}
+	} else {
+		for k, idx := range grant.Indices {
+			post.Results = append(post.Results, w.measureOne(dag, idx, grant.Programs[k]))
+		}
+	}
+	if _, err := w.cl.PostResults(post); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// measureOne replays, lowers and times one program on the hosted
+// machine model. The returned time is the model's exact (noiseless)
+// time: noise is derived by the submitting client from its tuning seed,
+// never rolled on a worker (the package determinism contract).
+func (w *Worker) measureOne(dag *te.DAG, index int, encSteps []byte) WorkerResult {
+	steps, err := ir.DecodeSteps(encSteps)
+	if err != nil {
+		return WorkerResult{Index: index, Err: fmt.Sprintf("decode steps: %v", err)}
+	}
+	s, err := ir.Replay(dag, steps)
+	if err != nil {
+		return WorkerResult{Index: index, Err: fmt.Sprintf("replay: %v", err)}
+	}
+	low, err := ir.Lower(s)
+	if err != nil {
+		return WorkerResult{Index: index, Err: fmt.Sprintf("lower: %v", err)}
+	}
+	return WorkerResult{Index: index, Noiseless: w.Machine.Time(low)}
+}
+
+// Run polls the broker until ctx is cancelled. Transport errors are
+// retried after the poll interval (a broker restart must not kill the
+// fleet); quarantine is terminal — the broker has decided this worker
+// is sick, so it exits with ErrQuarantined for the operator to notice.
+func (w *Worker) Run(ctx context.Context) error {
+	interval := w.PollInterval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	for {
+		worked, err := w.RunOnce()
+		if errors.Is(err, ErrQuarantined) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if worked && err == nil {
+			// More work may be queued; lease again immediately.
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+// NoiselessTime is the worker-side measurement as a plain function:
+// replay steps on a DAG and time the lowered program on a machine.
+// Exposed for tests asserting worker/measurer equivalence directly.
+func NoiselessTime(m *sim.Machine, dag *te.DAG, encSteps []byte) (float64, error) {
+	w := Worker{Machine: m}
+	r := w.measureOne(dag, 0, encSteps)
+	if r.Err != "" {
+		return 0, errors.New(r.Err)
+	}
+	return r.Noiseless, nil
+}

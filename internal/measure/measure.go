@@ -43,6 +43,33 @@ func (r Result) GFLOPS() float64 {
 	return r.Lowered.TotalFlops() / r.Seconds / 1e9
 }
 
+// Interface is the batch-measurement surface the search layers depend
+// on: policy, the baseline searchers, the experiment harnesses and the
+// public ansor API all measure through it. Two implementations exist:
+// *Measurer, which hosts the analytic machine model in-process, and
+// fleet.RemoteMeasurer, which ships batches to a measurement broker and
+// reassembles worker results in submission order. Implementations must
+// be safe for concurrent use, keep out[i] corresponding to states[i],
+// and return bit-identical results for the same (seed, program) — the
+// determinism contract of DESIGN.md extends across the interface.
+type Interface interface {
+	// Measure lowers and times the given programs; out[i] always
+	// corresponds to states[i]. Measurements are attributed to the empty
+	// task.
+	Measure(states []*ir.State) []Result
+	// MeasureTask is Measure with task attribution: cache lookups and
+	// emitted records are scoped to (target, task).
+	MeasureTask(task string, states []*ir.State) []Result
+	// Trials returns the total fresh measurements performed so far
+	// (results served from a resume cache are free and not counted).
+	Trials() int
+	// TargetName names the machine the measurements are (or claim to
+	// be) taken on — sim.Machine.Name for the in-process measurer, the
+	// job's target for a remote one. Records and warm-start filtering
+	// key on it.
+	TargetName() string
+}
+
 // Measurer measures batches of programs on one machine. A Measurer may be
 // shared by concurrent searches: Measure is safe for concurrent use and
 // trial accounting is atomic.
@@ -87,6 +114,15 @@ func New(m *sim.Machine, noiseStd float64, seed int64) *Measurer {
 // all callers of Measure/MeasureTask; results served from the attached
 // MeasuredSet are free and not counted.
 func (ms *Measurer) Trials() int { return int(ms.trials.Load()) }
+
+// TargetName returns the hosted machine model's name.
+func (ms *Measurer) TargetName() string { return ms.Machine.Name }
+
+// WorkerCount exposes the configured lowering/timing parallelism so
+// policies built on this measurer can inherit it (see policy.New).
+func (ms *Measurer) WorkerCount() int { return ms.Workers }
+
+var _ Interface = (*Measurer)(nil)
 
 // Measure lowers and times the given programs across Workers goroutines.
 // out[i] always corresponds to states[i]. Measurements are attributed to
@@ -162,13 +198,24 @@ func (ms *Measurer) measureOne(task string, s *ir.State) Result {
 
 // noiseFactor returns a deterministic lognormal-ish factor per program.
 func (ms *Measurer) noiseFactor(sig string) float64 {
+	return NoiseFactor(ms.Seed, ms.NoiseStd, sig)
+}
+
+// NoiseFactor is the deterministic measurement-noise model: a
+// lognormal-ish factor that is a pure function of (seed, program
+// signature), emulating repeatable per-program measurement bias. It is
+// exported so every measurement path — in-process, cache-served, or a
+// remote fleet reassembling worker results — derives bitwise the same
+// noisy time from the same noiseless time (DESIGN.md's determinism
+// contract; noise is keyed by the tuning seed, never by who measured).
+func NoiseFactor(seed int64, noiseStd float64, sig string) float64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(sig))
-	var seed [8]byte
-	for i := range seed {
-		seed[i] = byte(ms.Seed >> (8 * i))
+	var sb [8]byte
+	for i := range sb {
+		sb[i] = byte(seed >> (8 * i))
 	}
-	_, _ = h.Write(seed[:])
+	_, _ = h.Write(sb[:])
 	u := float64(h.Sum64()%1e6)/1e6*2 - 1 // [-1, 1)
-	return math.Exp(u * ms.NoiseStd)
+	return math.Exp(u * noiseStd)
 }

@@ -89,7 +89,10 @@ type Policy struct {
 	Task Task
 	Opts Options
 
-	Measurer *measure.Measurer
+	// Measurer is the measurement surface the policy spends its budget
+	// through: the in-process machine-model measurer, or a fleet
+	// RemoteMeasurer — search results are bit-identical either way.
+	Measurer measure.Interface
 
 	sketches []*ir.State
 	sampler  *anno.Sampler
@@ -132,7 +135,7 @@ type HistoryPoint struct {
 
 // New builds a policy for the task: it generates the task's sketches once
 // (the search space construction of §4.1).
-func New(task Task, opts Options, ms *measure.Measurer, extraRules ...sketch.Rule) (*Policy, error) {
+func New(task Task, opts Options, ms measure.Interface, extraRules ...sketch.Rule) (*Policy, error) {
 	target := task.Target
 	if opts.Structure != "" {
 		target.Structure = opts.Structure
@@ -155,7 +158,9 @@ func New(task Task, opts Options, ms *measure.Measurer, extraRules ...sketch.Rul
 	sampler := anno.NewSampler(target, opts.Seed)
 	sampler.Fixed = opts.FixedAnnotation
 	if opts.Workers == 0 && ms != nil {
-		opts.Workers = ms.Workers
+		if wc, ok := ms.(interface{ WorkerCount() int }); ok {
+			opts.Workers = wc.WorkerCount()
+		}
 	}
 	mopts := xgb.DefaultOpts()
 	mopts.Workers = opts.Workers
@@ -381,7 +386,7 @@ type WarmRecord struct {
 func (p *Policy) WarmStart(recs []measure.Record) (int, error) {
 	ws := make([]WarmRecord, 0, len(recs))
 	for _, rec := range recs {
-		if rec.Target != "" && p.Measurer != nil && rec.Target != p.Measurer.Machine.Name {
+		if rec.Target != "" && p.Measurer != nil && rec.Target != p.Measurer.TargetName() {
 			continue
 		}
 		ws = append(ws, WarmRecord{Record: rec, Weight: 1})

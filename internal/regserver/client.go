@@ -22,16 +22,22 @@ import (
 // Snapshot and Merge) with an added error return per call: the network
 // is allowed to fail where process memory is not.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	token string
+	hc    *http.Client
 }
 
 // NewClient returns a client for the server at base (e.g.
-// "http://127.0.0.1:8421"). A trailing slash is tolerated.
+// "http://127.0.0.1:8421"). A trailing slash is tolerated. A bearer
+// token may be embedded in the URL's userinfo — "http://:TOKEN@host" —
+// for servers started with -auth-token; it is stripped from the base
+// and sent as an Authorization header instead (see SplitTokenURL).
 func NewClient(base string) *Client {
+	base, token := SplitTokenURL(base)
 	return &Client{
-		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: 30 * time.Second},
+		base:  strings.TrimRight(base, "/"),
+		token: token,
+		hc:    &http.Client{Timeout: 30 * time.Second},
 	}
 }
 
@@ -40,7 +46,33 @@ func NewClient(base string) *Client {
 // deployments set this well below the flush interval so one hung
 // request cannot back up the buffer across multiple flush windows.
 func (c *Client) WithTimeout(d time.Duration) *Client {
-	return &Client{base: c.base, hc: &http.Client{Timeout: d}}
+	return &Client{base: c.base, token: c.token, hc: &http.Client{Timeout: d}}
+}
+
+// WithToken returns a copy of the client authenticating with the given
+// bearer token (for callers that hold the token separately from the
+// URL).
+func (c *Client) WithToken(token string) *Client {
+	return &Client{base: c.base, token: token, hc: c.hc}
+}
+
+// get issues an authenticated GET.
+func (c *Client) get(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.auth(req)
+	return c.hc.Do(req)
+}
+
+// auth attaches the bearer token, if any. Every request carries it —
+// the server only checks mutating endpoints today, but which endpoints
+// a given server guards should not be the client's business.
+func (c *Client) auth(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 }
 
 // IsURL reports whether src names a registry server rather than a file:
@@ -131,7 +163,7 @@ func errorOf(resp *http.Response) error {
 
 // Ping checks the server is reachable and speaks the registry API.
 func (c *Client) Ping() error {
-	resp, err := c.hc.Get(c.base + "/healthz")
+	resp, err := c.get(c.base + "/healthz")
 	if err != nil {
 		return fmt.Errorf("regserver: ping %s: %w", c.base, err)
 	}
@@ -144,7 +176,13 @@ func (c *Client) Ping() error {
 
 // post uploads a record batch body and decodes the AddResult.
 func (c *Client) post(body []byte) (AddResult, error) {
-	resp, err := c.hc.Post(c.base+"/v1/records", "application/x-ndjson", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/records", bytes.NewReader(body))
+	if err != nil {
+		return AddResult{}, fmt.Errorf("regserver: publish to %s: %w", c.base, err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	c.auth(req)
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return AddResult{}, fmt.Errorf("regserver: publish to %s: %w", c.base, err)
 	}
@@ -198,7 +236,7 @@ func (c *Client) Merge(r *registry.Registry) (int, error) {
 func (c *Client) Best(workload, target, dag string) (measure.Record, bool, error) {
 	q := url.Values{"workload": {workload}, "target": {target}, "dag": {dag}}
 	u := c.base + "/v1/best?" + q.Encode()
-	resp, err := c.hc.Get(u)
+	resp, err := c.get(u)
 	if err != nil {
 		return measure.Record{}, false, fmt.Errorf("regserver: best from %s: %w", c.base, err)
 	}
@@ -263,7 +301,7 @@ func (c *Client) Records(workload, target string, limit int) (*measure.Log, erro
 	if enc := q.Encode(); enc != "" {
 		u += "?" + enc
 	}
-	resp, err := c.hc.Get(u)
+	resp, err := c.get(u)
 	if err != nil {
 		return nil, fmt.Errorf("regserver: records from %s: %w", c.base, err)
 	}
@@ -280,7 +318,7 @@ func (c *Client) Records(workload, target string, limit int) (*measure.Log, erro
 
 // Metrics fetches the server's health counters.
 func (c *Client) Metrics() (Metrics, error) {
-	resp, err := c.hc.Get(c.base + "/metrics")
+	resp, err := c.get(c.base + "/metrics")
 	if err != nil {
 		return Metrics{}, fmt.Errorf("regserver: metrics from %s: %w", c.base, err)
 	}
@@ -298,7 +336,7 @@ func (c *Client) Metrics() (Metrics, error) {
 // Keys returns every key the server holds, in the registry's sorted
 // order.
 func (c *Client) Keys() ([]registry.Key, error) {
-	resp, err := c.hc.Get(c.base + "/v1/keys")
+	resp, err := c.get(c.base + "/v1/keys")
 	if err != nil {
 		return nil, fmt.Errorf("regserver: keys from %s: %w", c.base, err)
 	}
@@ -327,7 +365,7 @@ func (c *Client) Len() (int, error) {
 // round-trip), so the result is bit-identical to a registry built
 // locally from the same records.
 func (c *Client) Snapshot() (*registry.Registry, error) {
-	resp, err := c.hc.Get(c.base + "/v1/snapshot")
+	resp, err := c.get(c.base + "/v1/snapshot")
 	if err != nil {
 		return nil, fmt.Errorf("regserver: snapshot from %s: %w", c.base, err)
 	}

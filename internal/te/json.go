@@ -1,0 +1,176 @@
+package te
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// DAG serialization: the measurement fleet ships whole computations to
+// remote workers (a worker replays steps on the DAG, lowers, and times
+// the program), so a DAG must round-trip through JSON. The in-memory
+// form identifies tensors by pointer — a node's Reads alias its
+// producers' Out tensors — which naive struct marshalling would
+// duplicate; the wire form names every tensor once and references it by
+// name, and DecodeDAG rebuilds the aliasing. EncodeDAG(DecodeDAG(x))
+// is a fixed point, so fingerprints and validation agree on both sides
+// of the wire.
+
+type tensorJSON struct {
+	Name      string `json:"name"`
+	Shape     []int  `json:"shape"`
+	ElemBytes int    `json:"elem_bytes"`
+	Const     bool   `json:"const,omitempty"`
+}
+
+type accessJSON struct {
+	Tensor string    `json:"tensor"`
+	Index  []LinExpr `json:"index"`
+}
+
+type nodeJSON struct {
+	Name            string       `json:"name"`
+	Out             string       `json:"out"`
+	SpaceAxes       []Axis       `json:"space_axes"`
+	ReduceAxes      []Axis       `json:"reduce_axes,omitempty"`
+	Reads           []accessJSON `json:"reads,omitempty"`
+	Flops           FlopCount    `json:"flops"`
+	StrictInlinable bool         `json:"strict_inlinable,omitempty"`
+	DataReuse       bool         `json:"data_reuse,omitempty"`
+	Predicated      bool         `json:"predicated,omitempty"`
+	ZeroFraction    float64      `json:"zero_fraction,omitempty"`
+	AnnotationHint  string       `json:"annotation_hint,omitempty"`
+}
+
+type dagJSON struct {
+	Name    string       `json:"name"`
+	Tensors []tensorJSON `json:"tensors"`
+	Inputs  []string     `json:"inputs"`
+	Nodes   []nodeJSON   `json:"nodes"`
+}
+
+// EncodeDAG serializes a DAG to JSON. Tensors are emitted once, in
+// first-appearance order (inputs, then node outputs), and referenced by
+// name everywhere else, preserving the aliasing structure; encoding
+// fails if two distinct tensors share a name, since the wire form could
+// not distinguish them.
+func EncodeDAG(d *DAG) ([]byte, error) {
+	byName := map[string]*Tensor{}
+	var out dagJSON
+	out.Name = d.Name
+	addTensor := func(t *Tensor) error {
+		if t == nil {
+			return fmt.Errorf("te: encode dag %q: nil tensor", d.Name)
+		}
+		if prev, ok := byName[t.Name]; ok {
+			if prev != t {
+				return fmt.Errorf("te: encode dag %q: two distinct tensors named %q", d.Name, t.Name)
+			}
+			return nil
+		}
+		byName[t.Name] = t
+		out.Tensors = append(out.Tensors, tensorJSON{
+			Name: t.Name, Shape: t.Shape, ElemBytes: t.ElemBytes, Const: t.Const,
+		})
+		return nil
+	}
+	for _, t := range d.Inputs {
+		if err := addTensor(t); err != nil {
+			return nil, err
+		}
+		out.Inputs = append(out.Inputs, t.Name)
+	}
+	for _, n := range d.Nodes {
+		if err := addTensor(n.Out); err != nil {
+			return nil, err
+		}
+		for _, a := range n.Reads {
+			if err := addTensor(a.Tensor); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, n := range d.Nodes {
+		nj := nodeJSON{
+			Name:            n.Name,
+			Out:             n.Out.Name,
+			SpaceAxes:       n.SpaceAxes,
+			ReduceAxes:      n.ReduceAxes,
+			Flops:           n.Flops,
+			StrictInlinable: n.StrictInlinable,
+			DataReuse:       n.DataReuse,
+			Predicated:      n.Predicated,
+			ZeroFraction:    n.ZeroFraction,
+			AnnotationHint:  n.AnnotationHint,
+		}
+		for _, a := range n.Reads {
+			nj.Reads = append(nj.Reads, accessJSON{Tensor: a.Tensor.Name, Index: a.Index})
+		}
+		out.Nodes = append(out.Nodes, nj)
+	}
+	return json.Marshal(out)
+}
+
+// DecodeDAG parses a DAG serialized by EncodeDAG, rebuilding tensor
+// aliasing from names, and validates the result — a malformed or
+// tampered wire DAG fails here rather than deep inside lowering on a
+// remote worker.
+func DecodeDAG(data []byte) (*DAG, error) {
+	var in dagJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("te: decode dag: %w", err)
+	}
+	tensors := map[string]*Tensor{}
+	for _, tj := range in.Tensors {
+		if _, ok := tensors[tj.Name]; ok {
+			return nil, fmt.Errorf("te: decode dag %q: duplicate tensor %q", in.Name, tj.Name)
+		}
+		tensors[tj.Name] = &Tensor{
+			Name: tj.Name, Shape: tj.Shape, ElemBytes: tj.ElemBytes, Const: tj.Const,
+		}
+	}
+	lookup := func(name string) (*Tensor, error) {
+		t, ok := tensors[name]
+		if !ok {
+			return nil, fmt.Errorf("te: decode dag %q: unknown tensor %q", in.Name, name)
+		}
+		return t, nil
+	}
+	d := &DAG{Name: in.Name}
+	for _, name := range in.Inputs {
+		t, err := lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		d.Inputs = append(d.Inputs, t)
+	}
+	for _, nj := range in.Nodes {
+		out, err := lookup(nj.Out)
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{
+			Name:            nj.Name,
+			Out:             out,
+			SpaceAxes:       nj.SpaceAxes,
+			ReduceAxes:      nj.ReduceAxes,
+			Flops:           nj.Flops,
+			StrictInlinable: nj.StrictInlinable,
+			DataReuse:       nj.DataReuse,
+			Predicated:      nj.Predicated,
+			ZeroFraction:    nj.ZeroFraction,
+			AnnotationHint:  nj.AnnotationHint,
+		}
+		for _, a := range nj.Reads {
+			t, err := lookup(a.Tensor)
+			if err != nil {
+				return nil, err
+			}
+			n.Reads = append(n.Reads, Access{Tensor: t, Index: a.Index})
+		}
+		d.Nodes = append(d.Nodes, n)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("te: decode dag: %w", err)
+	}
+	return d, nil
+}

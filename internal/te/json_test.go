@@ -1,0 +1,75 @@
+package te
+
+import (
+	"testing"
+)
+
+// wireDAG builds a two-node conv-like DAG exercising aliasing (the
+// second node reads the first's output) and every serialized attribute.
+func wireDAG(t *testing.T) *DAG {
+	t.Helper()
+	b := NewBuilder("wire")
+	a := b.Input("A", 32, 32)
+	mm := b.Matmul(a, 32, true)
+	b.ReLU(mm)
+	return b.MustFinish()
+}
+
+func TestEncodeDecodeDAGRoundTrip(t *testing.T) {
+	d := wireDAG(t)
+	data, err := EncodeDAG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDAG(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rendered naive program is the DAG's canonical description
+	// (DAGFingerprint hashes it); equal strings mean the decoded DAG is
+	// the same computation.
+	if got.String() != d.String() {
+		t.Errorf("decoded DAG renders differently:\n--- want\n%s\n--- got\n%s", d, got)
+	}
+	if got.TotalFlops() != d.TotalFlops() {
+		t.Errorf("flops drifted: %g != %g", got.TotalFlops(), d.TotalFlops())
+	}
+	// Aliasing must be rebuilt: the consumer's read is the producer's
+	// output tensor, pointer-identically.
+	last := got.Nodes[len(got.Nodes)-1]
+	prod := got.Producer(last.Reads[0].Tensor)
+	if prod == nil {
+		t.Fatal("decoded consumer's read is not aliased to any producer output")
+	}
+	// Encode must be a fixed point through a decode cycle.
+	again, err := EncodeDAG(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Error("encode(decode(encode)) is not a fixed point")
+	}
+}
+
+func TestDecodeDAGRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`{`,
+		`{"name":"x","tensors":[],"inputs":["missing"],"nodes":[]}`,
+		`{"name":"x","tensors":[{"name":"t","shape":[2],"elem_bytes":4},{"name":"t","shape":[2],"elem_bytes":4}],"inputs":[],"nodes":[]}`,
+		// Structurally invalid: node output rank mismatches space axes.
+		`{"name":"x","tensors":[{"name":"o","shape":[2,2],"elem_bytes":4}],"inputs":[],"nodes":[{"name":"n","out":"o","space_axes":[{"Name":"i","Extent":2,"Kind":0}],"flops":{}}]}`,
+	} {
+		if _, err := DecodeDAG([]byte(bad)); err == nil {
+			t.Errorf("DecodeDAG(%q) should fail", bad)
+		}
+	}
+}
+
+func TestEncodeDAGRejectsDuplicateTensorNames(t *testing.T) {
+	d := wireDAG(t)
+	// Force two distinct tensors to share a name.
+	d.Nodes[0].Out.Name = d.Inputs[0].Name
+	if _, err := EncodeDAG(d); err == nil {
+		t.Error("EncodeDAG should refuse two distinct tensors with one name")
+	}
+}

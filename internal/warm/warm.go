@@ -60,7 +60,16 @@ type Source interface {
 // to `-registry-url` exactly like `-apply-best registry`. A server
 // source is pinged eagerly: a misspelled URL fails before any tuning
 // work.
-func Open(spec, registryURL string) (Source, error) {
+//
+// limit, when > 0, bounds how many records each source contributes per
+// task (`-warm-start-limit`): server sources pass it to the registry
+// query's limit parameter, file sources subsample their task slice
+// through Subsample — both deterministic, so a limited warm start is
+// still a pure function of (source contents, limit). A fleet can hold
+// thousands of records per workload; absorbing them all makes job
+// startup cost scale with fleet history, and the limit caps it at a
+// training-representative core.
+func Open(spec, registryURL string, limit int) (Source, error) {
 	parts := strings.Split(spec, ",")
 	var srcs []Source
 	for _, part := range parts {
@@ -79,10 +88,10 @@ func Open(spec, registryURL string) (Source, error) {
 			if err := cl.Ping(); err != nil {
 				return nil, fmt.Errorf("warm: %w", err)
 			}
-			srcs = append(srcs, &serverSource{cl: cl, url: part})
+			srcs = append(srcs, &serverSource{cl: cl, url: part, limit: limit})
 			continue
 		}
-		srcs = append(srcs, &fileSource{path: part})
+		srcs = append(srcs, &fileSource{path: part, limit: limit})
 	}
 	if len(srcs) == 0 {
 		return nil, fmt.Errorf("warm: empty warm-start spec")
@@ -97,6 +106,7 @@ func Open(spec, registryURL string) (Source, error) {
 // exactly once (a network tuning job fetches for every subgraph).
 type fileSource struct {
 	path   string
+	limit  int
 	loaded bool
 	log    *measure.Log
 }
@@ -118,23 +128,57 @@ func (f *fileSource) Fetch(workload string) (*measure.Log, error) {
 			out.Records = append(out.Records, rec)
 		}
 	}
-	return out, nil
+	return Subsample(out, f.limit), nil
 }
 
 // serverSource queries a registry server's task-filtered endpoint.
 type serverSource struct {
-	cl  *regserver.Client
-	url string
+	cl    *regserver.Client
+	url   string
+	limit int
 }
 
 func (s *serverSource) Name() string { return s.url }
 
 func (s *serverSource) Fetch(workload string) (*measure.Log, error) {
-	l, err := s.cl.Records(workload, "", 0)
+	l, err := s.cl.Records(workload, "", s.limit)
 	if err != nil {
 		return nil, fmt.Errorf("warm: %w", err)
 	}
-	return l, nil
+	// The server already bounds the query (one best record per key makes
+	// overshoot unlikely anyway); Subsample is a no-op then, and a real
+	// bound when talking to an older server that ignores limit.
+	return Subsample(l, s.limit), nil
+}
+
+// Subsample bounds a record log to at most limit records while keeping
+// it training-representative, by reusing measure.Log.Compact's
+// per-group top-k + evenly-spaced slow-tail sampler: it picks the
+// largest k whose compaction fits the limit (binary search — Compact
+// output size is monotone in k), then truncates the remainder in the
+// compaction's deterministic order if even k=1 overshoots (many groups,
+// tiny limit). Purely a function of the log's contents and limit;
+// limit <= 0 means unbounded.
+func Subsample(l *measure.Log, limit int) *measure.Log {
+	if limit <= 0 || len(l.Records) <= limit {
+		return l
+	}
+	lo, hi := 1, limit
+	best := l.Compact(1)
+	for lo <= hi {
+		k := (lo + hi) / 2
+		c := l.Compact(k)
+		if len(c.Records) <= limit {
+			best = c
+			lo = k + 1
+		} else {
+			hi = k - 1
+		}
+	}
+	if len(best.Records) > limit {
+		best = &measure.Log{Records: best.Records[:limit]}
+	}
+	return best
 }
 
 // multiSource concatenates its children's fetches. Duplicate programs

@@ -161,7 +161,7 @@ func TestOpenSpecForms(t *testing.T) {
 	}
 
 	// File source: per-task slices.
-	fsrc, err := Open(logPath, "")
+	fsrc, err := Open(logPath, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestOpenSpecForms(t *testing.T) {
 
 	// Server source (explicit URL and via the "registry" literal).
 	for _, spec := range []string{hs.URL, "registry"} {
-		ssrc, err := Open(spec, hs.URL)
+		ssrc, err := Open(spec, hs.URL, 0)
 		if err != nil {
 			t.Fatalf("open %q: %v", spec, err)
 		}
@@ -181,7 +181,7 @@ func TestOpenSpecForms(t *testing.T) {
 	}
 
 	// Merged source concatenates.
-	msrc, err := Open(logPath+","+hs.URL, "")
+	msrc, err := Open(logPath+","+hs.URL, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,18 +190,18 @@ func TestOpenSpecForms(t *testing.T) {
 	}
 
 	// Error forms.
-	if _, err := Open("registry", ""); err == nil {
+	if _, err := Open("registry", "", 0); err == nil {
 		t.Error("'registry' without a registry URL must fail")
 	}
-	if _, err := Open("", ""); err == nil {
+	if _, err := Open("", "", 0); err == nil {
 		t.Error("empty spec must fail")
 	}
-	if _, err := Open("http://127.0.0.1:1", ""); err == nil {
+	if _, err := Open("http://127.0.0.1:1", "", 0); err == nil {
 		t.Error("unreachable server must fail at Open (eager ping)")
 	}
 	// A missing file behaves like an empty log (cold-start degrade), the
 	// same contract as -resume.
-	coldSrc, err := Open(filepath.Join(dir, "absent.json"), "")
+	coldSrc, err := Open(filepath.Join(dir, "absent.json"), "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestRecordsEndToEnd(t *testing.T) {
 	if _, err := cl.AddLog(l); err != nil {
 		t.Fatal(err)
 	}
-	src, err := Open(hs.URL, "")
+	src, err := Open(hs.URL, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,5 +245,108 @@ func TestRecordsEndToEnd(t *testing.T) {
 	}
 	if recs[1].Seconds != 1.0 { // calibrated 2.0 * (1.0/2.0)
 		t.Errorf("sibling not calibrated: %g", recs[1].Seconds)
+	}
+}
+
+// TestSubsample pins the -warm-start-limit sampler: deterministic,
+// bounded, and training-representative (fastest records plus a slow
+// tail survive, per group).
+func TestSubsample(t *testing.T) {
+	var l measure.Log
+	// Two groups (two DAG shapes) of 20 records each, times 1..20.
+	for g, dag := range []string{"d1", "d2"} {
+		for i := 0; i < 20; i++ {
+			l.Records = append(l.Records, wrec("t", "m", dag, float64(i+1), g*100+i))
+		}
+	}
+	// No-op cases.
+	if got := Subsample(&l, 0); got != &l {
+		t.Error("limit 0 must be a no-op")
+	}
+	if got := Subsample(&l, 40); got != &l {
+		t.Error("limit >= len must be a no-op")
+	}
+	for _, limit := range []int{1, 3, 8, 17, 39} {
+		got := Subsample(&l, limit)
+		if len(got.Records) > limit {
+			t.Fatalf("limit %d: %d records", limit, len(got.Records))
+		}
+		again := Subsample(&l, limit)
+		if !reflect.DeepEqual(got, again) {
+			t.Fatalf("limit %d: subsample not deterministic", limit)
+		}
+	}
+	// A roomy limit keeps each group's fastest AND some of its slow
+	// tail — the Compact shape that keeps warm-started models honest.
+	got := Subsample(&l, 12)
+	var fastest, slowest [2]bool
+	for _, r := range got.Records {
+		g := 0
+		if r.DAG == "d2" {
+			g = 1
+		}
+		if r.Seconds == 1 {
+			fastest[g] = true
+		}
+		if r.Seconds == 20 {
+			slowest[g] = true
+		}
+	}
+	if fastest != [2]bool{true, true} || slowest != [2]bool{true, true} {
+		t.Errorf("subsample lost a group's best or slow tail: fastest=%v slowest=%v", fastest, slowest)
+	}
+}
+
+// TestOpenLimitBoundsSources: the limit applies per source, for file
+// and server forms alike, and limited warm starts stay deterministic.
+func TestOpenLimitBoundsSources(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "big.json")
+	var l measure.Log
+	for i := 0; i < 30; i++ {
+		l.Records = append(l.Records, wrec("t", "m", "d", float64(i+1), i))
+	}
+	if err := l.SaveFile(logPath); err != nil {
+		t.Fatal(err)
+	}
+	fsrc, err := Open(logPath, "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsrc.Fetch("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) > 5 || len(got.Records) == 0 {
+		t.Fatalf("file source fetched %d records under limit 5", len(got.Records))
+	}
+	fsrc2, _ := Open(logPath, "", 5)
+	got2, _ := fsrc2.Fetch("t")
+	if !reflect.DeepEqual(got, got2) {
+		t.Error("limited file fetch not deterministic")
+	}
+
+	// Server source: the limit rides the query.
+	srv := regserver.New(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	// Distinct DAGs so the registry keeps 30 separate keys.
+	var sl measure.Log
+	for i := 0; i < 30; i++ {
+		sl.Records = append(sl.Records, wrec("t", "m", fmt.Sprintf("d%02d", i), float64(i+1), i))
+	}
+	if _, err := regserver.NewClient(hs.URL).AddLog(&sl); err != nil {
+		t.Fatal(err)
+	}
+	ssrc, err := Open(hs.URL, "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgot, err := ssrc.Fetch("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sgot.Records) != 4 {
+		t.Fatalf("server source fetched %d records under limit 4", len(sgot.Records))
 	}
 }
