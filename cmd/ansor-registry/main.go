@@ -35,6 +35,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +46,22 @@ import (
 	"repro/internal/measure"
 	"repro/internal/regserver"
 )
+
+// startPprof serves net/http/pprof's /debug/pprof endpoints on addr
+// when non-empty. The listener is token-free and off by default: point
+// it at localhost (or a firewalled interface) only while profiling.
+// It is separate from the service listener, so profiling never rides
+// the (possibly token-guarded) API port.
+func startPprof(addr string, stderr io.Writer) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(stderr, "ansor-registry: pprof server: %v\n", err)
+		}
+	}()
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -90,10 +107,12 @@ func runFleet(ctx context.Context, args []string, stdout, stderr io.Writer, onRe
 		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "how long a worker may hold a lease before its slice is requeued on another worker")
 		maxFailures = fs.Int("max-failures", 3, "expired leases before a worker is quarantined (0 = never)")
 		authToken   = fs.String("auth-token", "", "require `Authorization: Bearer <token>` on job submission, leases and results (empty = open); clients embed it as http://:TOKEN@host")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/heap profiles; token-free, off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	startPprof(*pprofAddr, stderr)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -184,10 +203,12 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer, onRe
 		authToken   = fs.String("auth-token", "", "require `Authorization: Bearer <token>` on record publishes (empty = open); publishers embed it as http://:TOKEN@host in -registry-url and friends")
 		compactOver = fs.Int64("compact-over", 0, "auto-compact the store through measure.Log.Compact whenever it exceeds this many bytes, instead of snapshotting it to the best set — keeps the training-representative slow tail that warm starts want (0 = best-set snapshots)")
 		compactTopK = fs.Int("compact-top-k", 10, "records kept per (workload, target, shape) by -compact-over compaction: the k fastest plus up to k tail samples")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/heap profiles; token-free, off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	startPprof(*pprofAddr, stderr)
 	if *compactOver < 0 {
 		return fmt.Errorf("serve: -compact-over must be >= 0, got %d", *compactOver)
 	}

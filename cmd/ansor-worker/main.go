@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +38,20 @@ import (
 	"repro/internal/regserver"
 	"repro/internal/sim"
 )
+
+// startPprof serves net/http/pprof's /debug/pprof endpoints on addr
+// when non-empty. The listener is token-free and off by default: point
+// it at localhost (or a firewalled interface) only while profiling.
+func startPprof(addr string, stderr io.Writer) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(stderr, "ansor-worker: pprof server: %v\n", err)
+		}
+	}()
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -71,16 +87,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ansor-worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		broker   = fs.String("broker", "http://127.0.0.1:8521", "measurement broker URL (ansor-registry fleet); a bearer token may be embedded as http://:TOKEN@host")
-		target   = fs.String("target", "intel", "hosted machine model: intel, intel-avx512, arm, gpu, or a model name like intel-20c-avx2")
-		capacity = fs.Int("capacity", 4, "programs per lease: how much of a batch this worker takes in one bite")
-		seed     = fs.Int64("seed", 1, "worker identity seed: distinguishes workers of the same target in the broker's failure accounting (give every worker of a fleet a distinct seed); measurement itself is seed-free")
-		id       = fs.String("id", "", "explicit worker id (default <target>-w<seed>)")
-		poll     = fs.Duration("poll", 25*time.Millisecond, "idle delay between lease polls")
+		broker    = fs.String("broker", "http://127.0.0.1:8521", "measurement broker URL (ansor-registry fleet); a bearer token may be embedded as http://:TOKEN@host")
+		target    = fs.String("target", "intel", "hosted machine model: intel, intel-avx512, arm, gpu, or a model name like intel-20c-avx2")
+		capacity  = fs.Int("capacity", 4, "programs per lease: how much of a batch this worker takes in one bite")
+		seed      = fs.Int64("seed", 1, "worker identity seed: distinguishes workers of the same target in the broker's failure accounting (give every worker of a fleet a distinct seed); measurement itself is seed-free")
+		id        = fs.String("id", "", "explicit worker id (default <target>-w<seed>)")
+		poll      = fs.Duration("poll", 25*time.Millisecond, "pacing delay between lease polls when long-polling is off or unsupported by the broker")
+		leaseWait = fs.Duration("lease-wait", 10*time.Second, "broker-side long-poll per lease request: an idle worker blocks at the broker and starts measuring the instant work arrives (negative = classic interval polling)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/heap profiles; token-free, off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	startPprof(*pprofAddr, stderr)
 	if *capacity < 1 {
 		return fmt.Errorf("-capacity must be positive, got %d", *capacity)
 	}
@@ -94,6 +113,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	w := fleet.NewWorker(*broker, wid, m, *capacity)
 	w.PollInterval = *poll
+	w.LeaseWait = *leaseWait
 	if err := w.Ping(); err != nil {
 		return err
 	}

@@ -1,0 +1,111 @@
+package feat
+
+import (
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Entry is one cached program: the per-statement feature matrix plus
+// the statement stage names (what NodeScores aggregates by), so a cache
+// hit serves both scoring paths without re-lowering.
+type Entry struct {
+	// Feats is Extract(Lower(state)); nil marks a program that failed
+	// to lower (cached too, so a broken program is diagnosed once).
+	Feats [][]float64
+	// Stages holds Lowered.Stmts[i].Stage.Name for each feature row.
+	Stages []string
+}
+
+// Cache memoizes feature extraction keyed by exact program identity
+// (ir.State.Signature — since the PackedConst tightening, two programs
+// share a signature iff they lower to the same statements). The search
+// re-encounters the same programs constantly — best-k states reseed
+// every round's population, and evolution re-derives equal states from
+// different parents — so without the cache the hot path re-lowers and
+// re-extracts each of them every round. Hits return the exact slices
+// computed on the miss; features are pure functions of the program, so
+// caching cannot change any search result, only its cost.
+//
+// The cache is concurrency-safe (sharded evolution scores in parallel).
+// When a limit is set and would be exceeded, the whole map is dropped —
+// a deterministic generation reset that depends only on the insertion
+// sequence, never on timing.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[string]Entry
+	limit  int
+	hits   int64
+	misses int64
+}
+
+// NewCache returns a feature cache bounded to limit entries (0 =
+// unbounded).
+func NewCache(limit int) *Cache {
+	return &Cache{m: map[string]Entry{}, limit: limit}
+}
+
+// Program returns the cached entry for s, computing (and caching) it on
+// a miss. ok is false when the program does not lower; the failure is
+// cached as a nil-feature entry.
+func (c *Cache) Program(s *ir.State) (Entry, bool) {
+	sig := s.Signature()
+	c.mu.Lock()
+	e, hit := c.m[sig]
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if hit {
+		return e, e.Feats != nil
+	}
+	low, err := ir.Lower(s)
+	if err == nil {
+		e = fromLowered(low)
+	}
+	c.put(sig, e)
+	return e, e.Feats != nil
+}
+
+// Add caches an already-lowered program (the measurement path lowers
+// programs anyway; this hands the work to the scoring path for free).
+func (c *Cache) Add(s *ir.State, low *ir.Lowered) {
+	if low == nil {
+		return
+	}
+	sig := s.Signature()
+	c.mu.Lock()
+	_, exists := c.m[sig]
+	c.mu.Unlock()
+	if exists {
+		return
+	}
+	c.put(sig, fromLowered(low))
+}
+
+func fromLowered(low *ir.Lowered) Entry {
+	e := Entry{Feats: Extract(low), Stages: make([]string, len(low.Stmts))}
+	for i, st := range low.Stmts {
+		e.Stages[i] = st.Stage.Name
+	}
+	return e
+}
+
+func (c *Cache) put(sig string, e Entry) {
+	c.mu.Lock()
+	if c.limit > 0 && len(c.m) >= c.limit {
+		c.m = map[string]Entry{}
+	}
+	c.m[sig] = e
+	c.mu.Unlock()
+}
+
+// Stats reports (hits, misses, live entries) for observability and
+// tests.
+func (c *Cache) Stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}

@@ -1,0 +1,136 @@
+package feat
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/anno"
+	"repro/internal/ir"
+	"repro/internal/sketch"
+	"repro/internal/te"
+)
+
+func cacheStates(t *testing.T, n int) []*ir.State {
+	t.Helper()
+	b := te.NewBuilder("mm")
+	a := b.Input("A", 32, 32)
+	b.Matmul(a, 32, true)
+	d := b.MustFinish()
+	gen := sketch.NewGenerator(sketch.CPUTarget())
+	sks, err := gen.Generate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := anno.NewSampler(sketch.CPUTarget(), 3).SamplePopulation(sks, n)
+	if len(states) == 0 {
+		t.Fatal("no states sampled")
+	}
+	return states
+}
+
+func TestCacheMatchesDirectExtraction(t *testing.T) {
+	states := cacheStates(t, 8)
+	c := NewCache(0)
+	for _, s := range states {
+		e, ok := c.Program(s)
+		low, err := ir.Lower(s)
+		if err != nil {
+			if ok {
+				t.Fatal("cache served features for an unlowerable program")
+			}
+			continue
+		}
+		if !ok {
+			t.Fatal("cache missed a lowerable program")
+		}
+		if !reflect.DeepEqual(e.Feats, Extract(low)) {
+			t.Fatal("cached features differ from direct extraction")
+		}
+		if len(e.Stages) != len(low.Stmts) {
+			t.Fatalf("stage names: %d for %d statements", len(e.Stages), len(low.Stmts))
+		}
+		for i, st := range low.Stmts {
+			if e.Stages[i] != st.Stage.Name {
+				t.Fatalf("stage[%d] = %q, want %q", i, e.Stages[i], st.Stage.Name)
+			}
+		}
+	}
+	hits, misses, size := c.Stats()
+	if hits != 0 || misses != int64(len(states)) || size == 0 {
+		t.Errorf("stats after first pass: hits=%d misses=%d size=%d", hits, misses, size)
+	}
+	// Second pass: all hits, same slices (pointer equality — a hit must
+	// not recompute).
+	for _, s := range states {
+		e1, _ := c.Program(s)
+		e2, _ := c.Program(s)
+		if len(e1.Feats) > 0 && &e1.Feats[0] != &e2.Feats[0] {
+			t.Fatal("repeat lookups should return the identical cached slice")
+		}
+	}
+	hits, _, _ = c.Stats()
+	if hits == 0 {
+		t.Error("second pass produced no hits")
+	}
+}
+
+func TestCacheAddSeedsFromLowered(t *testing.T) {
+	states := cacheStates(t, 2)
+	c := NewCache(0)
+	low, err := ir.Lower(states[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(states[0], low)
+	if _, misses, _ := func() (int64, int64, int) { return c.Stats() }(); misses != 0 {
+		t.Fatalf("Add should not count as a miss (misses=%d)", misses)
+	}
+	if e, ok := c.Program(states[0]); !ok || !reflect.DeepEqual(e.Feats, Extract(low)) {
+		t.Fatal("Add-seeded entry should serve the next lookup")
+	}
+	if hits, _, _ := c.Stats(); hits != 1 {
+		t.Error("lookup after Add should be a hit")
+	}
+}
+
+func TestCacheGenerationReset(t *testing.T) {
+	states := cacheStates(t, 6)
+	c := NewCache(2)
+	for _, s := range states {
+		c.Program(s)
+	}
+	if _, _, size := c.Stats(); size > 2 {
+		t.Errorf("size %d exceeds limit 2", size)
+	}
+	// Evicted entries recompute correctly.
+	for _, s := range states {
+		e, ok := c.Program(s)
+		low, err := ir.Lower(s)
+		if (err == nil) != ok {
+			t.Fatal("eviction changed lowerability")
+		}
+		if ok && !reflect.DeepEqual(e.Feats, Extract(low)) {
+			t.Fatal("recomputed entry differs after generation reset")
+		}
+	}
+}
+
+func TestCacheConcurrentLookups(t *testing.T) {
+	states := cacheStates(t, 6)
+	c := NewCache(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range states {
+				if _, ok := c.Program(s); !ok {
+					t.Error("concurrent lookup failed")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,17 +3,30 @@ package fleet
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/regserver"
+	"repro/internal/te"
 )
 
 // maxBody bounds one request body (a job submission or result post).
 const maxBody = 64 << 20
+
+// maxWait caps how long the broker holds a long-poll open (lease or job
+// poll); clients with a default 30s HTTP timeout stay safely inside it.
+const maxWait = 25 * time.Second
+
+// waitSlice is the longest a blocked long-poll sleeps between checks:
+// lease-expiry reaping stays lazy (driven by requests, no background
+// goroutine), so every waiter must come back often enough to reap.
+const waitSlice = 250 * time.Millisecond
 
 // Broker is the measurement-fleet coordinator: it accepts measurement
 // jobs from submitters, leases slices of them to compatible workers,
@@ -56,20 +69,37 @@ type Broker struct {
 	nextJob  int64
 	nextID   int64 // lease ids
 
+	// notify is the long-poll broadcast: any state change that could
+	// unblock a waiter (job submitted, results landed, slices requeued)
+	// closes and replaces it, waking every blocked lease and job poll.
+	notify chan struct{}
+
 	submitted     int64
 	completedJobs int64
 	expiries      int64
 	dups          int64
+	leaseWakeups  int64
+	jobsBinary    int64
+	jobsJSON      int64
+	transcodes    int64
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
 
 	started time.Time
 	mux     *http.ServeMux
 }
 
 type job struct {
-	id       string
-	target   string
-	task     string
+	id     string
+	target string
+	task   string
+	// Exactly one of dag (JSON) / dagBin (binary codec) is set at
+	// submission; dagJSON caches the binary→JSON transcode the first
+	// time a legacy JSON-only worker leases this job.
 	dag      json.RawMessage
+	dagBin   []byte
+	dagJSON  json.RawMessage
 	programs []json.RawMessage
 
 	results   []UnitResult
@@ -105,14 +135,69 @@ func NewBroker() *Broker {
 		MaxDoneJobs: 256,
 		jobs:        map[string]*job{},
 		workers:     map[string]*workerState{},
+		notify:      make(chan struct{}),
 		started:     time.Now(),
 	}
 	b.routes()
 	return b
 }
 
-// Handler returns the HTTP handler serving the fleet API.
-func (b *Broker) Handler() http.Handler { return b.mux }
+// Handler returns the HTTP handler serving the fleet API, wrapped in
+// the wire-byte accounting middleware (request and response body bytes
+// feed the /metrics BytesIn/BytesOut counters).
+func (b *Broker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cr := &countingReader{rc: r.Body}
+		r.Body = cr
+		cw := &countingWriter{ResponseWriter: w}
+		b.mux.ServeHTTP(cw, r)
+		b.bytesIn.Add(cr.n)
+		b.bytesOut.Add(cw.n)
+	})
+}
+
+type countingReader struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
+
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// wakeLocked broadcasts a state change to every blocked long-poll by
+// closing and replacing the notify channel. Callers hold b.mu.
+func (b *Broker) wakeLocked() {
+	close(b.notify)
+	b.notify = make(chan struct{})
+}
+
+// clampWait bounds a client-requested long-poll duration.
+func clampWait(ms int64) time.Duration {
+	if ms <= 0 {
+		return 0
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > maxWait {
+		d = maxWait
+	}
+	return d
+}
 
 func (b *Broker) routes() {
 	b.mux = http.NewServeMux()
@@ -157,6 +242,7 @@ func (b *Broker) authorized(w http.ResponseWriter, r *http.Request) bool {
 // failure to the lease's worker; workers reaching MaxFailures are
 // quarantined. Callers hold b.mu.
 func (b *Broker) reapLocked(now time.Time) {
+	requeued := false
 	for _, j := range b.jobs {
 		for id, l := range j.leases {
 			if now.Before(l.deadline) {
@@ -167,6 +253,7 @@ func (b *Broker) reapLocked(now time.Time) {
 			for _, idx := range l.indices {
 				if !j.results[idx].Done {
 					j.queue = append(j.queue, idx)
+					requeued = true
 				}
 			}
 			if ws := b.workers[l.worker]; ws != nil {
@@ -177,13 +264,23 @@ func (b *Broker) reapLocked(now time.Time) {
 			}
 		}
 	}
+	if requeued {
+		// Requeued slices are new work for blocked lease long-polls.
+		b.wakeLocked()
+	}
 }
 
 func (b *Broker) handleHealth(w http.ResponseWriter, r *http.Request) {
 	b.mu.Lock()
 	jobs, workers := len(b.jobs), len(b.workers)
 	b.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "jobs": jobs, "workers": workers})
+	// formats advertises the DAG codecs this broker accepts; submitters
+	// only send binary after seeing it here (old brokers omit the key,
+	// so new clients degrade to JSON automatically).
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"ok": true, "jobs": jobs, "workers": workers,
+		"formats": []string{te.WireJSON, te.WireBinary},
+	})
 }
 
 func (b *Broker) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -206,18 +303,39 @@ func (b *Broker) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "job carries no programs")
 		return
 	}
-	if len(spec.DAG) == 0 || string(spec.DAG) == "null" {
+	hasJSON := len(spec.DAG) > 0 && string(spec.DAG) != "null"
+	hasBin := len(spec.DAGBin) > 0
+	if !hasJSON && !hasBin {
 		writeError(w, http.StatusBadRequest, "job carries no dag")
 		return
+	}
+	if hasJSON && hasBin {
+		writeError(w, http.StatusBadRequest, "job carries both dag and dag_bin; send exactly one")
+		return
+	}
+	if hasBin {
+		// Reject undecodable binary DAGs at the door: validating here
+		// (once per job) is what lets the lazy JSON transcode for legacy
+		// workers be infallible later.
+		if _, err := te.DecodeDAGBinary(spec.DAGBin); err != nil {
+			writeError(w, http.StatusBadRequest, "bad binary dag: %v", err)
+			return
+		}
 	}
 	b.mu.Lock()
 	b.nextJob++
 	b.submitted++
+	if hasBin {
+		b.jobsBinary++
+	} else {
+		b.jobsJSON++
+	}
 	j := &job{
 		id:       fmt.Sprintf("job-%d", b.nextJob),
 		target:   spec.Target,
 		task:     spec.Task,
 		dag:      spec.DAG,
+		dagBin:   spec.DAGBin,
 		programs: spec.Programs,
 		results:  make([]UnitResult, len(spec.Programs)),
 		leases:   map[int64]*lease{},
@@ -228,6 +346,8 @@ func (b *Broker) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	b.jobs[j.id] = j
 	b.jobOrder = append(b.jobOrder, j.id)
+	// New work: wake blocked lease long-polls.
+	b.wakeLocked()
 	b.mu.Unlock()
 	writeJSON(w, http.StatusOK, JobAck{ID: j.id, Total: len(spec.Programs)})
 }
@@ -235,11 +355,14 @@ func (b *Broker) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // handleJob answers a submitter's poll (GET) or acknowledgement
 // (DELETE). Results appear on every poll once the job is done —
 // delivery is idempotent, so a poll response lost to a timeout or a
-// dropped connection costs a retry, never the measurements. The
-// submitter acknowledges with DELETE once it holds the results; jobs
-// whose submitter died unacknowledged are evicted oldest-first past
-// MaxDoneJobs. Both verbs carry job results or destroy job state, so
-// both sit behind the bearer check.
+// dropped connection costs a retry, never the measurements. A GET with
+// ?wait_ms=N long-polls: the broker holds the request open until the
+// job completes or the wait expires, so the submitter makes one round
+// trip per batch instead of a sleep loop. The submitter acknowledges
+// with DELETE once it holds the results; jobs whose submitter died
+// unacknowledged are evicted oldest-first past MaxDoneJobs. Both verbs
+// carry job results or destroy job state, so both sit behind the
+// bearer check.
 func (b *Broker) handleJob(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
 		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE %s", r.URL.Path)
@@ -253,27 +376,53 @@ func (b *Broker) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "bad job id %q", id)
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.reapLocked(time.Now())
-	j, ok := b.jobs[id]
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q (acknowledged and evicted jobs are forgotten)", id)
-		return
+	waitMS, _ := strconv.ParseInt(r.URL.Query().Get("wait_ms"), 10, 64)
+	deadline := time.Now().Add(clampWait(waitMS))
+	for {
+		b.mu.Lock()
+		b.reapLocked(time.Now())
+		j, ok := b.jobs[id]
+		if !ok {
+			b.mu.Unlock()
+			writeError(w, http.StatusNotFound, "unknown job %q (acknowledged and evicted jobs are forgotten)", id)
+			return
+		}
+		if r.Method == http.MethodDelete {
+			b.dropJobLocked(id)
+			b.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+			return
+		}
+		st := JobStatus{
+			ID: j.id, Target: j.target, Task: j.task,
+			Total: len(j.programs), Completed: j.completed, Done: j.done(),
+		}
+		if st.Done {
+			st.Results = j.results
+		}
+		ch := b.notify
+		b.mu.Unlock()
+		remaining := time.Until(deadline)
+		if st.Done || remaining <= 0 {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		// Wait for a state change, but never longer than a slice: the
+		// waiter itself must keep reaping expired leases (no background
+		// goroutine does it), and requeues are what un-wedge a job whose
+		// worker died.
+		slice := waitSlice
+		if slice > remaining {
+			slice = remaining
+		}
+		select {
+		case <-ch:
+		case <-time.After(slice):
+		case <-r.Context().Done():
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
 	}
-	if r.Method == http.MethodDelete {
-		b.dropJobLocked(id)
-		writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
-		return
-	}
-	st := JobStatus{
-		ID: j.id, Target: j.target, Task: j.task,
-		Total: len(j.programs), Completed: j.completed, Done: j.done(),
-	}
-	if st.Done {
-		st.Results = j.results
-	}
-	writeJSON(w, http.StatusOK, st)
 }
 
 // dropJobLocked removes a job from every index. Callers hold b.mu.
@@ -312,22 +461,69 @@ func (b *Broker) handleLease(w http.ResponseWriter, r *http.Request) {
 	if req.Capacity < 1 {
 		req.Capacity = 1
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.reapLocked(time.Now())
-	ws := b.workers[req.Worker]
-	if ws == nil {
-		ws = &workerState{id: req.Worker}
-		b.workers[req.Worker] = ws
+	deadline := time.Now().Add(clampWait(req.WaitMS))
+	waited := false
+	for {
+		b.mu.Lock()
+		b.reapLocked(time.Now())
+		ws := b.workers[req.Worker]
+		if ws == nil {
+			ws = &workerState{id: req.Worker}
+			b.workers[req.Worker] = ws
+		}
+		ws.target = req.Target
+		ws.capacity = req.Capacity
+		if ws.quarantined {
+			failures := ws.failures
+			b.mu.Unlock()
+			writeError(w, http.StatusForbidden, "worker %q is quarantined after %d lease failures", req.Worker, failures)
+			return
+		}
+		if grant, ok := b.tryLeaseLocked(req); ok {
+			if waited {
+				b.leaseWakeups++
+			}
+			b.mu.Unlock()
+			writeJSON(w, http.StatusOK, grant)
+			return
+		}
+		ch := b.notify
+		b.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		// Long-poll: block until a submit/requeue broadcast or the next
+		// reaping slice, whichever comes first (see handleJob).
+		slice := waitSlice
+		if slice > remaining {
+			slice = remaining
+		}
+		waited = true
+		select {
+		case <-ch:
+		case <-time.After(slice):
+		case <-r.Context().Done():
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 	}
-	ws.target = req.Target
-	ws.capacity = req.Capacity
-	if ws.quarantined {
-		writeError(w, http.StatusForbidden, "worker %q is quarantined after %d lease failures", req.Worker, ws.failures)
-		return
+}
+
+// tryLeaseLocked hands req a slice of the oldest compatible job, if
+// any. Exact target compatibility: a worker hosting intel-20c-avx2
+// never times an avx512 job, however idle it is. The DAG is served in
+// the richest format the worker accepts; binary-submitted jobs are
+// transcoded to JSON (once, cached) for legacy workers that sent no
+// Accept list. Callers hold b.mu.
+func (b *Broker) tryLeaseLocked(req LeaseRequest) (LeaseGrant, bool) {
+	acceptBin := false
+	for _, f := range req.Accept {
+		if f == te.WireBinary {
+			acceptBin = true
+		}
 	}
-	// Oldest job first, exact target compatibility: a worker hosting
-	// intel-20c-avx2 never times an avx512 job, however idle it is.
 	for _, id := range b.jobOrder {
 		j := b.jobs[id]
 		if j.target != req.Target || len(j.queue) == 0 {
@@ -349,15 +545,37 @@ func (b *Broker) handleLease(w http.ResponseWriter, r *http.Request) {
 		j.leases[l.id] = l
 		grant := LeaseGrant{
 			Lease: l.id, Job: j.id, Task: j.task, Target: j.target,
-			DAG: j.dag, Indices: indices,
+			Indices: indices,
+		}
+		switch {
+		case len(j.dagBin) == 0:
+			grant.DAG = j.dag
+		case acceptBin:
+			grant.DAGBin = j.dagBin
+		default:
+			if j.dagJSON == nil {
+				b.transcodes++
+				// Cannot fail: handleSubmit decoded this exact payload.
+				d, err := te.DecodeDAGBinary(j.dagBin)
+				if err == nil {
+					j.dagJSON, _ = te.EncodeDAG(d)
+				}
+			}
+			if j.dagJSON == nil {
+				// Unreachable guard: serve the binary anyway rather than
+				// hand out an empty DAG; the worker reports decode errors
+				// per program and the job still terminates.
+				grant.DAGBin = j.dagBin
+			} else {
+				grant.DAG = j.dagJSON
+			}
 		}
 		for _, idx := range indices {
 			grant.Programs = append(grant.Programs, j.programs[idx])
 		}
-		writeJSON(w, http.StatusOK, grant)
-		return
+		return grant, true
 	}
-	w.WriteHeader(http.StatusNoContent)
+	return LeaseGrant{}, false
 }
 
 func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -414,6 +632,10 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 	if ws := b.workers[post.Worker]; ws != nil {
 		ws.completed += int64(accepted)
 	}
+	if accepted > 0 {
+		// Progress (possibly completion): wake blocked job long-polls.
+		b.wakeLocked()
+	}
 	// Count and enqueue the completion only on the transition: a
 	// straggler posting duplicates into an already-done job must not
 	// double-count it (jobs_completed <= jobs_submitted is a dashboard
@@ -447,6 +669,12 @@ func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		LeaseExpiries:    b.expiries,
 		DuplicateResults: b.dups,
 		UptimeSeconds:    time.Since(b.started).Seconds(),
+		BytesIn:          b.bytesIn.Load(),
+		BytesOut:         b.bytesOut.Load(),
+		LeaseWakeups:     b.leaseWakeups,
+		JobsBinaryDAG:    b.jobsBinary,
+		JobsJSONDAG:      b.jobsJSON,
+		DAGTranscodes:    b.transcodes,
 	}
 	for _, j := range b.jobs {
 		m.ProgramsQueued += len(j.queue)

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,13 @@ import (
 // this worker after repeated lease failures.
 var ErrQuarantined = errors.New("fleet: worker is quarantined")
 
+// ErrTransport wraps failures to reach the broker at all (dial,
+// timeout, connection reset) as opposed to an HTTP-level refusal. Poll
+// loops retry transport errors with capped exponential backoff — a
+// broker restart must not kill a batch — while HTTP errors (bad token,
+// unknown job) fail immediately.
+var ErrTransport = errors.New("fleet: transport error")
+
 // Client talks to a measurement broker. Like the registry client, a
 // bearer token may be embedded in the broker URL's userinfo
 // ("http://:TOKEN@host") for brokers started with -auth-token.
@@ -43,6 +51,10 @@ func NewClient(base string) *Client {
 }
 
 func (c *Client) do(method, path string, in, out interface{}) (int, error) {
+	return c.doCtx(context.Background(), method, path, in, out)
+}
+
+func (c *Client) doCtx(ctx context.Context, method, path string, in, out interface{}) (int, error) {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -51,7 +63,7 @@ func (c *Client) do(method, path string, in, out interface{}) (int, error) {
 		}
 		body = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return 0, fmt.Errorf("fleet: %s %s: %w", method, path, err)
 	}
@@ -63,7 +75,7 @@ func (c *Client) do(method, path string, in, out interface{}) (int, error) {
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, fmt.Errorf("fleet: %s %s: %w", method, c.base+path, err)
+		return 0, fmt.Errorf("%w: %s %s: %v", ErrTransport, method, c.base+path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNoContent {
@@ -96,6 +108,19 @@ func (c *Client) Ping() error {
 	return nil
 }
 
+// Formats reports the DAG wire codecs the broker accepts, from its
+// /healthz. Brokers predating content negotiation omit the field; the
+// empty answer means JSON only.
+func (c *Client) Formats() ([]string, error) {
+	var h struct {
+		Formats []string `json:"formats"`
+	}
+	if _, err := c.do(http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return h.Formats, nil
+}
+
 // Submit enqueues one measurement batch.
 func (c *Client) Submit(spec JobSpec) (JobAck, error) {
 	var ack JobAck
@@ -112,6 +137,21 @@ func (c *Client) Job(id string) (JobStatus, error) {
 	return st, err
 }
 
+// JobWait is Job with a broker-side long-poll: the broker holds the
+// request open up to wait until the job is done, so one round trip
+// replaces a sleep loop. Old brokers ignore the parameter and answer
+// immediately — callers guard against fast not-done answers before
+// looping.
+func (c *Client) JobWait(id string, wait time.Duration) (JobStatus, error) {
+	if wait <= 0 {
+		return c.Job(id)
+	}
+	var st JobStatus
+	_, err := c.do(http.MethodGet,
+		fmt.Sprintf("/v1/jobs/%s?wait_ms=%d", id, wait.Milliseconds()), nil, &st)
+	return st, err
+}
+
 // Ack acknowledges a completed job, releasing it broker-side. Safe to
 // skip (the broker evicts unacknowledged done jobs past its retention
 // cap), so callers treat failures as best-effort.
@@ -123,8 +163,15 @@ func (c *Client) Ack(id string) error {
 // Lease asks the broker for work; nil without error when none is
 // available, ErrQuarantined when the broker refuses this worker.
 func (c *Client) Lease(req LeaseRequest) (*LeaseGrant, error) {
+	return c.LeaseContext(context.Background(), req)
+}
+
+// LeaseContext is Lease bounded by ctx — with long-poll leases a
+// shutting-down worker must be able to abort a request the broker is
+// deliberately holding open.
+func (c *Client) LeaseContext(ctx context.Context, req LeaseRequest) (*LeaseGrant, error) {
 	var grant LeaseGrant
-	code, err := c.do(http.MethodPost, "/v1/lease", req, &grant)
+	code, err := c.doCtx(ctx, http.MethodPost, "/v1/lease", req, &grant)
 	if code == http.StatusNoContent {
 		return nil, nil
 	}
@@ -168,12 +215,32 @@ type RemoteMeasurer struct {
 	// measurement.
 	Cache    *measure.MeasuredSet
 	Recorder *measure.Recorder
-	// PollInterval is the delay between job polls (default 10ms).
+	// PollInterval is the delay between job polls when long-polling is
+	// off or the broker ignores it (default 10ms).
 	PollInterval time.Duration
+	// JobWait is the broker-side long-poll per job status request
+	// (default 10s; negative disables long-polling and falls back to the
+	// PollInterval sleep loop). With long-polling a batch costs one
+	// blocked round trip instead of hundreds of sleep-poll cycles.
+	JobWait time.Duration
 	// Timeout bounds one batch end to end (default 15m): a fleet with
 	// no live compatible worker fails the batch instead of hanging the
 	// search forever.
 	Timeout time.Duration
+	// Codec pins the DAG wire codec: te.WireBinary, te.WireJSON, or
+	// empty to negotiate (binary iff the broker's /healthz advertises
+	// it; the answer is cached for the measurer's lifetime).
+	Codec string
+	// Pipeline bounds how many chunk jobs of one batch are in flight at
+	// once (default 2): chunk N+1 is encoded and shipped while chunk N
+	// is still measuring, so workers never sit idle between chunks.
+	Pipeline int
+	// ChunkPrograms is how many programs one chunk job carries (default
+	// 16; negative ships the whole batch as a single job, the pre-
+	// pipelining behavior). Chunks fill disjoint result indices, so
+	// chunking is invisible in the output — the determinism contract
+	// does not care how a batch was sliced into jobs.
+	ChunkPrograms int
 
 	cl       *Client
 	target   string
@@ -181,6 +248,9 @@ type RemoteMeasurer struct {
 	seed     int64
 
 	trials atomic.Int64
+
+	negOnce sync.Once
+	binOK   bool
 
 	mu  sync.Mutex
 	err error // first broker failure, latched for Err/Close
@@ -248,9 +318,11 @@ func (rm *RemoteMeasurer) MeasureTask(task string, states []*ir.State) []measure
 	pool.New(rm.Workers).Map(len(states), func(i int) {
 		out[i], enc[i] = rm.localStage(task, states[i])
 	})
-	// Fresh programs (not cached, locally valid) go to the fleet, one
-	// job per distinct DAG (policy batches share their task's DAG, so
-	// this is one job per call in practice).
+	// Fresh programs (not cached, locally valid) go to the fleet,
+	// grouped per distinct DAG (policy batches share their task's DAG,
+	// so one group per call in practice), each group pipelined as chunk
+	// jobs. The DAG ships in the negotiated codec.
+	useBin := rm.useBinary()
 	byDAG := map[string][]int{}
 	var dagOrder []string
 	dagEnc := map[string][]byte{}
@@ -263,7 +335,12 @@ func (rm *RemoteMeasurer) MeasureTask(task string, states []*ir.State) []measure
 			dagOrder = append(dagOrder, fp)
 			// A nil entry marks a DAG that failed to encode: the whole
 			// group errors without re-encoding per program.
-			d, _ := te.EncodeDAG(states[i].DAG)
+			var d []byte
+			if useBin {
+				d, _ = te.EncodeDAGBinary(states[i].DAG)
+			} else {
+				d, _ = te.EncodeDAG(states[i].DAG)
+			}
 			dagEnc[fp] = d
 		}
 		if dagEnc[fp] == nil {
@@ -276,7 +353,7 @@ func (rm *RemoteMeasurer) MeasureTask(task string, states []*ir.State) []measure
 		if len(byDAG[fp]) == 0 {
 			continue // the group's DAG failed to encode; errors already set
 		}
-		rm.measureRemote(task, dagEnc[fp], byDAG[fp], enc, states, out)
+		rm.measureRemote(task, dagEnc[fp], useBin, byDAG[fp], enc, states, out)
 	}
 	var fresh int64
 	for i := range out {
@@ -335,11 +412,79 @@ func (rm *RemoteMeasurer) noisy(noiseless float64, sig string) float64 {
 	return noiseless * measure.NoiseFactor(rm.seed, rm.noiseStd, sig)
 }
 
-// measureRemote submits one job for the given batch indices and fills
-// their results. A broker failure fails every index of the job (the
-// search skips errored results) and latches for Err.
-func (rm *RemoteMeasurer) measureRemote(task string, dag []byte, indices []int, enc [][]byte, states []*ir.State, out []measure.Result) {
-	spec := JobSpec{Target: rm.target, Task: task, DAG: dag}
+// useBinary decides the DAG wire codec once per measurer: an explicit
+// Codec wins; otherwise the broker's advertised formats decide
+// (negotiation failure means JSON — it always works).
+func (rm *RemoteMeasurer) useBinary() bool {
+	switch rm.Codec {
+	case te.WireJSON:
+		return false
+	case te.WireBinary:
+		return true
+	}
+	rm.negOnce.Do(func() {
+		formats, err := rm.cl.Formats()
+		if err != nil {
+			return
+		}
+		for _, f := range formats {
+			if f == te.WireBinary {
+				rm.binOK = true
+			}
+		}
+	})
+	return rm.binOK
+}
+
+// measureRemote ships one DAG group to the fleet as pipelined chunk
+// jobs and fills the group's results. Chunk N+1 is encoded and
+// submitted while chunk N is measuring (bounded by Pipeline), so
+// workers drain a steady queue instead of waiting for whole-batch
+// round trips. A broker failure fails that chunk's indices (the search
+// skips errored results) and latches for Err.
+func (rm *RemoteMeasurer) measureRemote(task string, dag []byte, binary bool, indices []int, enc [][]byte, states []*ir.State, out []measure.Result) {
+	chunk := rm.ChunkPrograms
+	if chunk == 0 {
+		chunk = 16
+	}
+	if chunk < 0 || chunk > len(indices) {
+		chunk = len(indices)
+	}
+	inflight := rm.Pipeline
+	if inflight <= 0 {
+		inflight = 2
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	for start := 0; start < len(indices); start += chunk {
+		end := start + chunk
+		if end > len(indices) {
+			end = len(indices)
+		}
+		part := indices[start:end]
+		// Acquire before spawning: submission order stays the batch
+		// order, and at most `inflight` chunks are ever in flight.
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rm.runChunk(task, dag, binary, part, enc, states, out)
+		}(part)
+	}
+	wg.Wait()
+}
+
+// runChunk submits one chunk job and fills its indices' results.
+// Distinct chunks write disjoint out[i] slots, so no synchronization
+// on out is needed.
+func (rm *RemoteMeasurer) runChunk(task string, dag []byte, binary bool, indices []int, enc [][]byte, states []*ir.State, out []measure.Result) {
+	spec := JobSpec{Target: rm.target, Task: task}
+	if binary {
+		spec.DAGBin = dag
+	} else {
+		spec.DAG = dag
+	}
 	for _, i := range indices {
 		spec.Programs = append(spec.Programs, enc[i])
 	}
@@ -367,7 +512,12 @@ func (rm *RemoteMeasurer) measureRemote(task string, dag []byte, indices []int, 
 	}
 }
 
-// runJob submits a job and polls it to completion.
+// runJob submits a job and waits for completion: a long-poll GET per
+// round trip by default, a PollInterval sleep loop when JobWait is
+// negative or the broker ignores long-polls. Transport errors while
+// waiting are retried with capped exponential backoff (a broker
+// restart mid-batch costs a retry, not the batch); the submit itself
+// and HTTP-level refusals fail immediately.
 func (rm *RemoteMeasurer) runJob(spec JobSpec) ([]UnitResult, error) {
 	ack, err := rm.cl.Submit(spec)
 	if err != nil {
@@ -377,12 +527,39 @@ func (rm *RemoteMeasurer) runJob(spec JobSpec) ([]UnitResult, error) {
 	if interval <= 0 {
 		interval = 10 * time.Millisecond
 	}
+	wait := rm.JobWait
+	if wait == 0 {
+		wait = 10 * time.Second
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	const maxBackoff = 2 * time.Second
+	backoff := interval
 	deadline := time.Now().Add(rm.Timeout)
 	for {
-		st, err := rm.cl.Job(ack.ID)
+		t0 := time.Now()
+		// Never hold a long poll past the batch deadline: a fleet with no
+		// compatible worker must fail at Timeout, not at Timeout rounded
+		// up to the next wait.
+		w := wait
+		if rm.Timeout > 0 {
+			if rem := time.Until(deadline); rem < w {
+				w = rem
+			}
+		}
+		st, err := rm.cl.JobWait(ack.ID, w)
 		if err != nil {
+			if errors.Is(err, ErrTransport) && (rm.Timeout <= 0 || time.Now().Before(deadline)) {
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				continue
+			}
 			return nil, err
 		}
+		backoff = interval
 		if st.Done {
 			if len(st.Results) != len(spec.Programs) {
 				return nil, fmt.Errorf("job %s returned %d results for %d programs", ack.ID, len(st.Results), len(spec.Programs))
@@ -396,7 +573,12 @@ func (rm *RemoteMeasurer) runJob(spec JobSpec) ([]UnitResult, error) {
 			return nil, fmt.Errorf("job %s timed out after %s (%d/%d measured; is a worker for target %q registered and alive?)",
 				ack.ID, rm.Timeout, st.Completed, st.Total, rm.target)
 		}
-		time.Sleep(interval)
+		// Pace the loop when long-polling is off — or when an old broker
+		// ignored the wait and answered instantly (a fast not-done answer
+		// to a long poll), which must not become a busy-wait.
+		if wait <= 0 || time.Since(t0) < 5*time.Millisecond {
+			time.Sleep(interval)
+		}
 	}
 }
 

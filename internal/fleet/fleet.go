@@ -41,7 +41,11 @@ package fleet
 
 import "encoding/json"
 
-// JobSpec is one submitted measurement batch (POST /v1/jobs).
+// JobSpec is one submitted measurement batch (POST /v1/jobs). The DAG
+// travels in exactly one of two codecs: DAG (JSON, te.EncodeDAG) or
+// DAGBin (the compact binary codec, te.EncodeDAGBinary). Submitters
+// pick the binary form only when the broker's /healthz advertises it,
+// so a new client degrades cleanly against an old broker.
 type JobSpec struct {
 	// Target names the machine model programs must be timed on; only
 	// workers registered with exactly this target are leased the job.
@@ -49,8 +53,12 @@ type JobSpec struct {
 	// Task attributes the batch for observability; the broker never
 	// keys on it.
 	Task string `json:"task,omitempty"`
-	// DAG is the computation, wire-encoded by te.EncodeDAG.
-	DAG json.RawMessage `json:"dag"`
+	// DAG is the computation, wire-encoded by te.EncodeDAG (JSON).
+	DAG json.RawMessage `json:"dag,omitempty"`
+	// DAGBin is the computation in the binary wire format
+	// (te.EncodeDAGBinary); set instead of DAG by binary-capable
+	// submitters.
+	DAGBin []byte `json:"dag_bin,omitempty"`
 	// Programs holds one ir.EncodeSteps step list per program.
 	Programs []json.RawMessage `json:"programs"`
 }
@@ -72,6 +80,19 @@ type LeaseRequest struct {
 	Target string `json:"target"`
 	// Capacity bounds how many programs one lease may carry.
 	Capacity int `json:"capacity"`
+	// Accept lists the DAG wire formats this worker decodes (te.WireJSON,
+	// te.WireBinary). Empty means a legacy JSON-only worker: the broker
+	// transcodes binary-submitted jobs to JSON for it. Old brokers ignore
+	// the field entirely (unknown JSON keys), which is also correct —
+	// they only ever hold JSON DAGs.
+	Accept []string `json:"accept,omitempty"`
+	// WaitMS asks the broker to hold this request open up to WaitMS
+	// milliseconds when no work is available (long-poll), answering the
+	// instant a compatible job arrives. 0 preserves the old
+	// immediate-204 behavior; old brokers ignore the field and answer
+	// immediately, so workers guard against fast empty answers before
+	// re-polling.
+	WaitMS int64 `json:"wait_ms,omitempty"`
 }
 
 // LeaseGrant hands a worker a slice of one job's batch. A grant expires
@@ -79,11 +100,15 @@ type LeaseRequest struct {
 // for any program not yet completed elsewhere, but the slice is
 // requeued and the worker's failure counter bumped.
 type LeaseGrant struct {
-	Lease    int64             `json:"lease"`
-	Job      string            `json:"job"`
-	Task     string            `json:"task,omitempty"`
-	Target   string            `json:"target"`
-	DAG      json.RawMessage   `json:"dag"`
+	Lease  int64  `json:"lease"`
+	Job    string `json:"job"`
+	Task   string `json:"task,omitempty"`
+	Target string `json:"target"`
+	// Exactly one of DAG (JSON) and DAGBin (binary codec) is set,
+	// according to the worker's Accept list; te.DecodeDAGAuto handles
+	// either.
+	DAG      json.RawMessage   `json:"dag,omitempty"`
+	DAGBin   []byte            `json:"dag_bin,omitempty"`
 	Indices  []int             `json:"indices"`
 	Programs []json.RawMessage `json:"programs"`
 }
@@ -169,4 +194,18 @@ type Metrics struct {
 	Quarantined int            `json:"quarantined"`
 	// UptimeSeconds since the broker was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Wire-level counters. BytesIn/BytesOut total the HTTP bodies the
+	// broker read and wrote across every endpoint, so a codec change
+	// shows up directly here.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	// LeaseWakeups counts lease long-polls that blocked and were then
+	// answered with work (each one is a poll-loop round trip the old
+	// protocol would have burned).
+	LeaseWakeups int64 `json:"lease_wakeups"`
+	// Jobs by submitted DAG codec, and how many binary jobs had to be
+	// transcoded to JSON for a legacy worker.
+	JobsBinaryDAG int64 `json:"jobs_binary_dag"`
+	JobsJSONDAG   int64 `json:"jobs_json_dag"`
+	DAGTranscodes int64 `json:"dag_transcodes"`
 }

@@ -1,0 +1,292 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/measure"
+	"repro/internal/sim"
+	"repro/internal/te"
+)
+
+// startWorkerLoop runs one pre-configured worker until stop is called.
+func startWorkerLoop(t *testing.T, w *Worker) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// binJob builds a real binary-codec job from sampled programs.
+func binJob(t *testing.T, target string, states []*ir.State) JobSpec {
+	t.Helper()
+	dag, err := te.EncodeDAGBinary(states[0].DAG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Target: target, Task: "t", DAGBin: dag}
+	for _, s := range states {
+		e, err := ir.EncodeSteps(s.Steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Programs = append(spec.Programs, e)
+	}
+	return spec
+}
+
+// TestBrokerContentNegotiation pins the format rules: a binary-capable
+// worker receives the submitted binary bytes untouched; a legacy worker
+// (no Accept list) receives a JSON transcode of the same DAG, decoding
+// to the same computation.
+func TestBrokerContentNegotiation(t *testing.T) {
+	machine := sim.IntelXeon()
+	states := sampleStates(t, 4)
+	_, cl := testBroker(t, nil)
+
+	formats, err := cl.Formats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binAdvertised := false
+	for _, f := range formats {
+		if f == te.WireBinary {
+			binAdvertised = true
+		}
+	}
+	if !binAdvertised {
+		t.Fatalf("healthz formats = %v, want %q advertised", formats, te.WireBinary)
+	}
+
+	spec := binJob(t, machine.Name, states[:2])
+	if _, err := cl.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// A binary-capable worker gets the submitted bytes verbatim.
+	g, err := cl.Lease(LeaseRequest{Worker: "new", Target: machine.Name, Capacity: 1,
+		Accept: []string{te.WireBinary, te.WireJSON}})
+	if err != nil || g == nil {
+		t.Fatalf("binary lease: %+v err=%v", g, err)
+	}
+	if len(g.DAGBin) == 0 || len(g.DAG) != 0 {
+		t.Fatalf("binary-capable worker should get DAGBin only (got %d/%d bytes)", len(g.DAGBin), len(g.DAG))
+	}
+	dBin, err := te.DecodeDAGAuto(g.DAGBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A legacy worker (no Accept) gets a JSON transcode of the same DAG.
+	gOld, err := cl.Lease(LeaseRequest{Worker: "old", Target: machine.Name, Capacity: 1})
+	if err != nil || gOld == nil {
+		t.Fatalf("legacy lease: %+v err=%v", gOld, err)
+	}
+	if len(gOld.DAG) == 0 || len(gOld.DAGBin) != 0 {
+		t.Fatalf("legacy worker should get JSON only (got %d/%d bytes)", len(gOld.DAGBin), len(gOld.DAG))
+	}
+	dJSON, err := te.DecodeDAG(gOld.DAG)
+	if err != nil {
+		t.Fatalf("transcoded DAG does not JSON-decode: %v", err)
+	}
+	if dBin.String() != dJSON.String() {
+		t.Fatal("binary and transcoded-JSON grants describe different computations")
+	}
+
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsBinaryDAG != 1 || m.JobsJSONDAG != 0 {
+		t.Errorf("format counts binary=%d json=%d, want 1/0", m.JobsBinaryDAG, m.JobsJSONDAG)
+	}
+	if m.DAGTranscodes != 1 {
+		t.Errorf("transcodes = %d, want 1 (cached after the first legacy lease)", m.DAGTranscodes)
+	}
+	if m.BytesIn <= 0 || m.BytesOut <= 0 {
+		t.Errorf("wire byte counters idle: in=%d out=%d", m.BytesIn, m.BytesOut)
+	}
+}
+
+// TestBrokerRejectsBadBinarySubmissions: undecodable binary DAGs and
+// both-codecs submissions fail at the door.
+func TestBrokerRejectsBadBinarySubmissions(t *testing.T) {
+	_, cl := testBroker(t, nil)
+	good := binJob(t, "cpu", sampleStates(t, 1))
+	bad := good
+	bad.DAGBin = append([]byte("TED\x01"), 0xff, 0xff, 0xff)
+	if _, err := cl.Submit(bad); err == nil {
+		t.Error("undecodable binary DAG should be rejected at submit")
+	}
+	both := good
+	both.DAG = []byte(`{"synthetic":true}`)
+	if _, err := cl.Submit(both); err == nil {
+		t.Error("a job carrying both dag and dag_bin should be rejected")
+	}
+	if _, err := cl.Submit(good); err != nil {
+		t.Errorf("well-formed binary job refused: %v", err)
+	}
+}
+
+// TestMixedVersionInterop is the version-skew matrix: a binary-
+// negotiating submitter against a JSON-only worker, and a JSON-pinned
+// submitter against a binary-capable worker, both bit-identical to the
+// local measurer.
+func TestMixedVersionInterop(t *testing.T) {
+	machine := sim.IntelXeon()
+	states := sampleStates(t, 10)
+	local := measure.New(machine, 0.02, 3).MeasureTask("mm", states)
+
+	cases := map[string]struct {
+		codec  string   // submitter pin ("" = negotiate)
+		accept []string // worker advertisement
+	}{
+		"binary-client/json-worker": {codec: "", accept: []string{te.WireJSON}},
+		"json-client/binary-worker": {codec: te.WireJSON, accept: []string{te.WireBinary, te.WireJSON}},
+		"binary-client/binary-worker": {codec: te.WireBinary,
+			accept: []string{te.WireBinary, te.WireJSON}},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			url := startBroker(t, nil)
+			w := NewWorker(url, "w", machine, 4)
+			w.PollInterval = time.Millisecond
+			w.Accept = tc.accept
+			stop := startWorkerLoop(t, w)
+			defer stop()
+			rm := remote(t, url, machine, 0.02, 3)
+			rm.Codec = tc.codec
+			assertBitIdentical(t, name, local, rm.MeasureTask("mm", states))
+			if err := rm.Err(); err != nil {
+				t.Fatalf("latched: %v", err)
+			}
+		})
+	}
+}
+
+// TestLeaseLongPollWakesOnSubmit: a long-polled lease blocks until work
+// arrives and returns it immediately — no poll-interval latency.
+func TestLeaseLongPollWakesOnSubmit(t *testing.T) {
+	machine := sim.IntelXeon()
+	states := sampleStates(t, 2)
+	_, cl := testBroker(t, nil)
+
+	type leased struct {
+		g   *LeaseGrant
+		err error
+	}
+	got := make(chan leased, 1)
+	go func() {
+		g, err := cl.Lease(LeaseRequest{Worker: "w", Target: machine.Name, Capacity: 1,
+			Accept: []string{te.WireBinary}, WaitMS: 5000})
+		got <- leased{g, err}
+	}()
+	// Give the long poll time to block, then submit.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case l := <-got:
+		t.Fatalf("lease answered before any work existed: %+v err=%v", l.g, l.err)
+	default:
+	}
+	if _, err := cl.Submit(binJob(t, machine.Name, states)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case l := <-got:
+		if l.err != nil || l.g == nil {
+			t.Fatalf("woken lease: %+v err=%v", l.g, l.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("long-polled lease not woken by the submit")
+	}
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LeaseWakeups < 1 {
+		t.Errorf("lease wakeups = %d, want >= 1", m.LeaseWakeups)
+	}
+}
+
+// TestJobLongPollReturnsOnCompletion: a long-polled job status blocks
+// until the last result lands, then returns the full results.
+func TestJobLongPollReturnsOnCompletion(t *testing.T) {
+	_, cl := testBroker(t, nil)
+	ack, err := cl.Submit(synthJob("cpu", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type polled struct {
+		st  JobStatus
+		err error
+	}
+	got := make(chan polled, 1)
+	go func() {
+		st, err := cl.JobWait(ack.ID, 5*time.Second)
+		got <- polled{st, err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case p := <-got:
+		t.Fatalf("job poll answered before completion: %+v err=%v", p.st, p.err)
+	default:
+	}
+	if n := drain(t, cl, "w", "cpu", 2); n != 2 {
+		t.Fatalf("drain measured %d", n)
+	}
+	select {
+	case p := <-got:
+		if p.err != nil || !p.st.Done || len(p.st.Results) != 2 {
+			t.Fatalf("woken job poll: %+v err=%v", p.st, p.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("job long-poll not woken by completion")
+	}
+}
+
+// TestClientMetricsRoundTrip: every counter the broker tracks survives
+// the JSON round trip through Client.Metrics.
+func TestClientMetricsRoundTrip(t *testing.T) {
+	machine := sim.IntelXeon()
+	states := sampleStates(t, 3)
+	url := startBroker(t, nil)
+	cl := NewClient(url)
+	startWorkers(t, url, machine, 2)
+	rm := remote(t, url, machine, 0.02, 3)
+	if res := rm.MeasureTask("mm", states); res[0].Err != nil {
+		t.Fatalf("measure: %v", res[0].Err)
+	}
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsSubmitted < 1 || m.JobsCompleted < 1 {
+		t.Errorf("job counters: %+v", m)
+	}
+	var workerCompleted int64
+	for _, ws := range m.Workers {
+		workerCompleted += ws.Completed
+	}
+	if workerCompleted < int64(len(states)) {
+		t.Errorf("workers completed %d programs, want >= %d", workerCompleted, len(states))
+	}
+	if m.JobsBinaryDAG < 1 {
+		t.Errorf("negotiating client should have submitted binary (counts: bin=%d json=%d)",
+			m.JobsBinaryDAG, m.JobsJSONDAG)
+	}
+	if m.BytesIn <= 0 || m.BytesOut <= 0 {
+		t.Errorf("wire bytes: in=%d out=%d, want both > 0", m.BytesIn, m.BytesOut)
+	}
+	if len(m.Workers) == 0 || m.UptimeSeconds <= 0 {
+		t.Errorf("worker/uptime fields: %+v", m)
+	}
+}

@@ -26,8 +26,19 @@ type Worker struct {
 	Machine *sim.Machine
 	// Capacity bounds how many programs one lease may carry.
 	Capacity int
-	// PollInterval is the idle delay between lease polls (default 25ms).
+	// PollInterval is the idle delay between lease polls when
+	// long-polling is off or the broker ignores it (default 25ms).
 	PollInterval time.Duration
+	// LeaseWait is the broker-side long-poll per lease request (default
+	// 10s; negative disables long-polling and restores the fixed
+	// PollInterval sleep loop). With long-polling an idle worker blocks
+	// at the broker and starts measuring the instant work arrives,
+	// instead of discovering it up to a poll interval late.
+	LeaseWait time.Duration
+	// Accept lists the DAG wire formats this worker advertises (default
+	// both te.WireBinary and te.WireJSON). Tests pin it to JSON only to
+	// exercise the broker's legacy transcoding path.
+	Accept []string
 
 	cl *Client
 }
@@ -51,9 +62,19 @@ func (w *Worker) Ping() error { return w.cl.Ping() }
 
 // RunOnce performs one lease cycle: poll, measure, post. It reports
 // whether any work was done; (false, nil) means the broker had nothing
-// for this worker's target.
+// for this worker's target. The lease request advertises the worker's
+// accepted DAG formats and long-poll wait; grants may carry the DAG in
+// either codec.
 func (w *Worker) RunOnce() (bool, error) {
-	grant, err := w.cl.Lease(LeaseRequest{Worker: w.ID, Target: w.Machine.Name, Capacity: w.Capacity})
+	return w.runOnce(context.Background())
+}
+
+func (w *Worker) runOnce(ctx context.Context) (bool, error) {
+	req := LeaseRequest{Worker: w.ID, Target: w.Machine.Name, Capacity: w.Capacity, Accept: w.accept()}
+	if wait := w.leaseWait(); wait > 0 {
+		req.WaitMS = wait.Milliseconds()
+	}
+	grant, err := w.cl.LeaseContext(ctx, req)
 	if err != nil {
 		return false, err
 	}
@@ -61,7 +82,11 @@ func (w *Worker) RunOnce() (bool, error) {
 		return false, nil
 	}
 	post := ResultPost{Worker: w.ID, Job: grant.Job, Lease: grant.Lease}
-	dag, err := te.DecodeDAG(grant.DAG)
+	payload := []byte(grant.DAG)
+	if len(grant.DAGBin) > 0 {
+		payload = grant.DAGBin
+	}
+	dag, err := te.DecodeDAGAuto(payload)
 	if err != nil {
 		// A bad DAG fails every program of the slice as a program error:
 		// it would fail identically on every other worker, so requeueing
@@ -101,31 +126,74 @@ func (w *Worker) measureOne(dag *te.DAG, index int, encSteps []byte) WorkerResul
 	return WorkerResult{Index: index, Noiseless: w.Machine.Time(low)}
 }
 
+// accept returns the advertised DAG formats (default: both codecs).
+func (w *Worker) accept() []string {
+	if w.Accept != nil {
+		return w.Accept
+	}
+	return []string{te.WireBinary, te.WireJSON}
+}
+
+// leaseWait resolves the effective long-poll duration (0 = disabled).
+func (w *Worker) leaseWait() time.Duration {
+	if w.LeaseWait < 0 {
+		return 0
+	}
+	if w.LeaseWait == 0 {
+		return 10 * time.Second
+	}
+	return w.LeaseWait
+}
+
 // Run polls the broker until ctx is cancelled. Transport errors are
-// retried after the poll interval (a broker restart must not kill the
-// fleet); quarantine is terminal — the broker has decided this worker
-// is sick, so it exits with ErrQuarantined for the operator to notice.
+// retried with capped exponential backoff (a broker restart must not
+// kill the fleet, and a dead broker must not be hammered); quarantine
+// is terminal — the broker has decided this worker is sick, so it
+// exits with ErrQuarantined for the operator to notice. With
+// long-polling (the default) an idle worker blocks broker-side and
+// re-leases immediately; the PollInterval pause only paces workers
+// talking to brokers that ignore long-polls.
 func (w *Worker) Run(ctx context.Context) error {
 	interval := w.PollInterval
 	if interval <= 0 {
 		interval = 25 * time.Millisecond
 	}
+	const maxBackoff = 2 * time.Second
+	backoff := interval
 	for {
-		worked, err := w.RunOnce()
+		t0 := time.Now()
+		worked, err := w.runOnce(ctx)
 		if errors.Is(err, ErrQuarantined) {
 			return err
 		}
 		if ctx.Err() != nil {
 			return nil
 		}
-		if worked && err == nil {
-			// More work may be queued; lease again immediately.
-			continue
+		if err == nil {
+			backoff = interval
+			if worked {
+				// More work may be queued; lease again immediately.
+				continue
+			}
+			// Idle. A long-polled lease already blocked broker-side, so
+			// loop straight into the next one — unless the answer came
+			// back suspiciously fast (an old broker ignoring WaitMS),
+			// which must not become a busy-wait.
+			if w.leaseWait() > 0 && time.Since(t0) >= 5*time.Millisecond {
+				continue
+			}
+		}
+		pause := interval
+		if err != nil {
+			pause = backoff
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
 		}
 		select {
 		case <-ctx.Done():
 			return nil
-		case <-time.After(interval):
+		case <-time.After(pause):
 		}
 	}
 }

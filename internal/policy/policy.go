@@ -52,6 +52,15 @@ type Options struct {
 	// DisableFineTuning reproduces the "No fine-tuning" ablation: the
 	// batch is picked from random samples only (§7.1).
 	DisableFineTuning bool
+	// DisableIncremental forces every round's retraining to refit the
+	// whole ensemble from scratch. Default (false) trains incrementally:
+	// rounds that did not move the per-DAG normalization boost the
+	// previous ensemble with residual trees over the round's new data,
+	// and full refits happen only at fingerprint-drift checkpoints (a
+	// new best time rescales every label) or when the ensemble hits its
+	// growth bound. Both modes are bit-deterministic; they just spend
+	// different training time (see xgb.CostModel.BoostWeighted).
+	DisableIncremental bool
 	// Space restrictions, used by the baseline frameworks and the
 	// "Limited space" ablation; all false for Ansor.
 	DisableFusion     bool
@@ -99,6 +108,19 @@ type Policy struct {
 	model    *xgb.CostModel
 	rng      *rand.Rand
 	pool     *pool.Pool
+
+	// feats memoizes Lower+Extract per program signature across rounds:
+	// best-k states reseed every round's population and evolution keeps
+	// re-deriving equal programs, so each distinct program is featurized
+	// exactly once per task (ISSUE 6's transport-gap slice).
+	feats *feat.Cache
+
+	// Incremental-training state: the program count at the last model
+	// fit and the normalization minimum it used. A changed minimum is a
+	// fingerprint-drift checkpoint — every label rescales, so the next
+	// fit must be a full refit rather than a residual boost.
+	fittedProgs int
+	lastFitMin  float64
 
 	// Accumulated training data. progWeights carries each program's
 	// training weight: 1 for native measurements, a transfer discount for
@@ -173,6 +195,7 @@ func New(task Task, opts Options, ms measure.Interface, extraRules ...sketch.Rul
 		model:        xgb.NewCostModel(mopts),
 		rng:          rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
 		pool:         pool.New(opts.Workers),
+		feats:        feat.NewCache(1 << 16),
 		measuredSigs: map[string]bool{},
 		BestTime:     1e30,
 	}, nil
@@ -280,7 +303,14 @@ func (p *Policy) update(results []measure.Result) {
 		if r.Err != nil || r.Seconds <= 0 {
 			continue
 		}
-		p.absorb(r.State, feat.Extract(r.Lowered), r.Seconds)
+		// The measurer already lowered the program; seed the feature
+		// cache with it so scoring never lowers this program again.
+		p.feats.Add(r.State, r.Lowered)
+		e, ok := p.feats.Program(r.State)
+		if !ok {
+			continue
+		}
+		p.absorb(r.State, e.Feats, r.Seconds)
 	}
 	p.rebuildBestPool()
 	p.retrain()
@@ -334,8 +364,17 @@ func (p *Policy) rebuildBestPool() {
 	p.bestStates, p.bestTimes = states, times
 }
 
-// retrain refits the cost model on all accumulated data: labels are
-// throughputs normalized to [0,1] per DAG (§5.2).
+// retrain updates the cost model on the accumulated data: labels are
+// throughputs normalized to [0,1] per DAG (§5.2). Training is
+// incremental by default: when the normalization minimum is unchanged
+// since the last fit (so every existing label is still valid), the
+// previous ensemble is boosted with residual trees over only the new
+// programs. A new best time is a fingerprint-drift checkpoint — every
+// label rescales — and forces a full refit, as does reaching the
+// ensemble growth bound (xgb.Opts.MaxTrees). The refit/boost decision
+// depends only on the measurement sequence, never on timing, so resumed
+// and fleet-measured searches replay the identical call sequence and
+// land on bit-identical models.
 func (p *Policy) retrain() {
 	if len(p.progTimes) == 0 || p.Opts.DisableFineTuning {
 		return
@@ -350,7 +389,15 @@ func (p *Policy) retrain() {
 	for i, t := range p.progTimes {
 		y[i] = minT / t
 	}
-	p.model.FitWeighted(p.progFeats, y, p.progWeights)
+	switch {
+	case p.Opts.DisableIncremental, !p.model.Trained(), minT != p.lastFitMin,
+		p.model.NumTrees()+p.model.Opts.BoostTrees > p.model.Opts.MaxTrees:
+		p.model.FitWeighted(p.progFeats, y, p.progWeights)
+	default:
+		p.model.BoostWeighted(p.progFeats, y, p.progWeights, p.fittedProgs)
+	}
+	p.lastFitMin = minT
+	p.fittedProgs = len(p.progFeats)
 }
 
 // WarmRecord is one source-tagged, weighted record offered to a policy's
@@ -426,14 +473,18 @@ func (p *Policy) WarmStartWeighted(recs []WarmRecord) (int, error) {
 			continue
 		}
 		seen[sig] = true
-		low, err := ir.Lower(s)
-		if err != nil {
+		e, ok := p.feats.Program(s)
+		if !ok {
+			// The cache records the failure; re-lower once to surface the
+			// actual error to the caller.
 			if first == nil {
-				first = err
+				if _, err := ir.Lower(s); err != nil {
+					first = err
+				}
 			}
 			continue
 		}
-		p.absorbWeighted(s, feat.Extract(low), wr.Seconds, w, wr.TrainOnly)
+		p.absorbWeighted(s, e.Feats, wr.Seconds, w, wr.TrainOnly)
 		n++
 	}
 	if n > 0 {
@@ -454,62 +505,59 @@ func (p *Policy) scoreAll(sc evo.Scorer, states []*ir.State) []float64 {
 	return evo.ScoreAll(p.pool, sc, states)
 }
 
-// scorer adapts the cost model to the evolutionary search.
+// scorer adapts the cost model to the evolutionary search, backed by the
+// policy's cross-round feature cache.
 func (p *Policy) scorer() evo.Scorer {
-	return &modelScorer{model: p.model, cache: map[*ir.State][][]float64{}}
+	return &modelScorer{model: p.model, feats: p.feats, memo: map[*ir.State]feat.Entry{}}
 }
 
-// modelScorer caches per-state features; it is safe for the concurrent
-// Score/NodeScores calls the sharded evolution makes.
+// modelScorer serves concurrent Score/NodeScores calls from the sharded
+// evolution. Entries come from the policy's signature-keyed feature
+// cache (shared across rounds); a per-round pointer memo skips the
+// signature computation for states the round has already scored.
 type modelScorer struct {
 	model *xgb.CostModel
+	feats *feat.Cache
 	mu    sync.Mutex
-	cache map[*ir.State][][]float64
+	memo  map[*ir.State]feat.Entry
 }
 
-func (m *modelScorer) features(s *ir.State) [][]float64 {
+func (m *modelScorer) entry(s *ir.State) feat.Entry {
 	m.mu.Lock()
-	f, ok := m.cache[s]
+	e, ok := m.memo[s]
 	m.mu.Unlock()
 	if ok {
-		return f
+		return e
 	}
-	low, err := ir.Lower(s)
-	if err == nil {
-		f = feat.Extract(low)
-	}
+	e, _ = m.feats.Program(s)
 	m.mu.Lock()
-	m.cache[s] = f
+	m.memo[s] = e
 	m.mu.Unlock()
-	return f
+	return e
 }
 
 func (m *modelScorer) Score(states []*ir.State) []float64 {
 	out := make([]float64, len(states))
 	for i, s := range states {
-		f := m.features(s)
-		if f == nil {
+		e := m.entry(s)
+		if e.Feats == nil {
 			out[i] = -1e30
 			continue
 		}
-		out[i] = m.model.Score(f)
+		out[i] = m.model.Score(e.Feats)
 	}
 	return out
 }
 
 func (m *modelScorer) NodeScores(s *ir.State) map[string]float64 {
-	f := m.features(s)
-	if f == nil || !m.model.Trained() {
-		return nil
-	}
-	low, err := ir.Lower(s)
-	if err != nil {
+	e := m.entry(s)
+	if e.Feats == nil || !m.model.Trained() {
 		return nil
 	}
 	out := map[string]float64{}
-	for i, stmt := range low.Stmts {
-		tag := ir.BaseStage(stmt.Stage.Name)
-		out[tag] += m.model.ScoreStmt(f[i])
+	for i, stage := range e.Stages {
+		tag := ir.BaseStage(stage)
+		out[tag] += m.model.ScoreStmt(e.Feats[i])
 	}
 	return out
 }

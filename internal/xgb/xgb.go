@@ -34,6 +34,15 @@ type Opts struct {
 	LearningRate     float64
 	FeatureSubsample float64
 	Seed             int64
+	// BoostTrees is how many residual trees one Boost call appends to a
+	// trained ensemble (default 10): a warm-started round costs
+	// BoostTrees trees over the round's new rows instead of NumTrees
+	// trees over all rows.
+	BoostTrees int
+	// MaxTrees bounds the ensemble growth under repeated Boost calls
+	// (default 3*NumTrees): callers fall back to a full Fit once the
+	// ensemble would exceed it, keeping prediction cost flat.
+	MaxTrees int
 	// Workers bounds the goroutines used by the split-finding scan
 	// (0 = GOMAXPROCS). Trained models are identical for any value.
 	Workers int
@@ -48,6 +57,8 @@ func DefaultOpts() Opts {
 		LearningRate:     0.3,
 		FeatureSubsample: 0.4,
 		Seed:             1,
+		BoostTrees:       10,
+		MaxTrees:         90,
 	}
 }
 
@@ -311,6 +322,104 @@ func (c *CostModel) FitWeighted(progs [][][]float64, y, progWeight []float64) {
 	c.trees = trees
 	c.mu.Unlock()
 }
+
+// Boost is BoostWeighted with unit confidence weights.
+func (c *CostModel) Boost(progs [][][]float64, y []float64, newStart int) {
+	c.BoostWeighted(progs, y, nil, newStart)
+}
+
+// BoostWeighted warm-starts training from the current ensemble instead
+// of refitting from scratch: the existing trees are kept verbatim and
+// Opts.BoostTrees new residual trees are fitted on the programs from
+// newStart onward (the rows added since the last fit), against the
+// residual of the current ensemble's prediction. progs and y cover ALL
+// accumulated programs — labels are normalized over the full set by the
+// caller — but only the new slice is scanned, so one warm round costs
+// O(new rows) instead of O(all rows).
+//
+// Boosting is only a faithful continuation while the old labels are
+// unchanged: if the per-DAG normalization shifted (a new best program
+// rescales every y), the caller must fall back to a full Fit — see
+// policy's fingerprint-drift checkpoints. Determinism matches Fit: the
+// residual-tree RNG is derived from (Seed, current ensemble size), so
+// any run issuing the same Fit/Boost call sequence over the same data
+// reproduces the exact same ensemble at any worker count.
+func (c *CostModel) BoostWeighted(progs [][][]float64, y, progWeight []float64, newStart int) {
+	prev := c.snapshot()
+	if len(prev) == 0 || newStart <= 0 {
+		c.FitWeighted(progs, y, progWeight)
+		return
+	}
+	if newStart >= len(progs) {
+		return // nothing new: the current ensemble is already the fit
+	}
+	boostTrees := c.Opts.BoostTrees
+	if boostTrees <= 0 {
+		boostTrees = 10
+	}
+	var rows [][]float64
+	var rowProg []int // indexes into progs, only >= newStart
+	nStmts := map[int]float64{}
+	for p := newStart; p < len(progs); p++ {
+		nStmts[p] = float64(len(progs[p]))
+		for _, s := range progs[p] {
+			rows = append(rows, s)
+			rowProg = append(rowProg, p)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	pl := pool.New(c.Opts.Workers)
+	// Seed the per-row predictions with the existing ensemble, then run
+	// the standard boosting recurrence over the new rows only.
+	pred := make([]float64, len(rows))
+	pl.Map(len(rows), func(i int) {
+		var s float64
+		for _, t := range prev {
+			s += c.Opts.LearningRate * t.predict(rows[i])
+		}
+		pred[i] = s
+	})
+	target := make([]float64, len(rows))
+	weight := make([]float64, len(rows))
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Decorrelate the residual trees' feature subsample from the full
+	// fit's: the stream is a pure function of (Seed, ensemble size), so
+	// identical call sequences reproduce identical models.
+	rng := rand.New(rand.NewSource(c.Opts.Seed ^ int64(uint64(len(prev)+1)*0x9e3779b97f4a7c15)))
+	const minWeight = 0.05
+	boosted := append(make([]*tree, 0, len(prev)+boostTrees), prev...)
+	for round := 0; round < boostTrees; round++ {
+		progPred := map[int]float64{}
+		for i, p := range rowProg {
+			progPred[p] += pred[i]
+		}
+		for i, p := range rowProg {
+			r := y[p] - progPred[p]
+			target[i] = r / nStmts[p]
+			weight[i] = math.Max(y[p], minWeight)
+			if progWeight != nil {
+				weight[i] *= progWeight[p]
+			}
+		}
+		t := fitTree(rows, target, weight, idx, c.Opts, rng, pl)
+		for i := range rows {
+			pred[i] += c.Opts.LearningRate * t.predict(rows[i])
+		}
+		boosted = append(boosted, t)
+	}
+	c.mu.Lock()
+	c.trees = boosted
+	c.mu.Unlock()
+}
+
+// NumTrees returns the current ensemble size (0 when untrained). Policy
+// uses it to bound Boost growth against Opts.MaxTrees.
+func (c *CostModel) NumTrees() int { return len(c.snapshot()) }
 
 // Score returns the model's predicted fitness (higher = faster) for a
 // program given its per-statement features.

@@ -208,3 +208,113 @@ func TestFitWeightedMatchesFitAtUnitWeight(t *testing.T) {
 		t.Error("weighted training must be deterministic")
 	}
 }
+
+func TestBoostAppendsResidualTrees(t *testing.T) {
+	progs, y := synth(400, 7)
+	m := NewCostModel(DefaultOpts())
+	m.Fit(progs[:300], y[:300])
+	base := m.NumTrees()
+	if base != m.Opts.NumTrees {
+		t.Fatalf("full fit grew %d trees, want %d", base, m.Opts.NumTrees)
+	}
+	before := m.Fingerprint()
+	m.Boost(progs, y, 300)
+	if got, want := m.NumTrees(), base+m.Opts.BoostTrees; got != want {
+		t.Fatalf("boost grew to %d trees, want %d", got, want)
+	}
+	if m.Fingerprint() == before {
+		t.Error("boosting on new data must change the ensemble")
+	}
+	// Boosting should keep (or improve) ranking quality on the new rows.
+	pred := make([]float64, 100)
+	truth := make([]float64, 100)
+	for i := 0; i < 100; i++ {
+		pred[i] = m.Score(progs[300+i])
+		truth[i] = y[300+i]
+	}
+	if acc := PairwiseAccuracy(pred, truth); acc < 0.7 {
+		t.Errorf("post-boost pairwise accuracy = %.3f, want >= 0.7", acc)
+	}
+}
+
+func TestBoostDeterministic(t *testing.T) {
+	progs, y := synth(300, 9)
+	run := func() uint64 {
+		m := NewCostModel(DefaultOpts())
+		m.Fit(progs[:200], y[:200])
+		m.Boost(progs[:250], y[:250], 200)
+		m.Boost(progs, y, 250)
+		return m.Fingerprint()
+	}
+	if run() != run() {
+		t.Fatal("identical fit+boost call sequences must produce identical ensembles")
+	}
+	// Different call sequences over the same final data may differ — but a
+	// boost must never be the same as a fresh full fit (distinct tree
+	// count alone guarantees it).
+	full := NewCostModel(DefaultOpts())
+	full.Fit(progs, y)
+	boosted := NewCostModel(DefaultOpts())
+	boosted.Fit(progs[:200], y[:200])
+	boosted.Boost(progs, y, 200)
+	if full.NumTrees() == boosted.NumTrees() {
+		t.Fatalf("tree counts: full=%d boosted=%d, expected to differ", full.NumTrees(), boosted.NumTrees())
+	}
+}
+
+func TestBoostFallsBackToFullFit(t *testing.T) {
+	progs, y := synth(200, 11)
+	// Untrained model: Boost must behave exactly like Fit.
+	a := NewCostModel(DefaultOpts())
+	a.Boost(progs, y, 100)
+	b := NewCostModel(DefaultOpts())
+	b.Fit(progs, y)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("Boost on an untrained model must equal a full Fit")
+	}
+	// newStart <= 0 likewise refits from scratch.
+	c := NewCostModel(DefaultOpts())
+	c.Fit(progs[:100], y[:100])
+	c.Boost(progs, y, 0)
+	d := NewCostModel(DefaultOpts())
+	d.Fit(progs[:100], y[:100])
+	d.Fit(progs, y)
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Error("Boost(newStart=0) must equal a full refit")
+	}
+	// No new rows: a boost is a no-op.
+	e := NewCostModel(DefaultOpts())
+	e.Fit(progs, y)
+	fp := e.Fingerprint()
+	e.Boost(progs, y, len(progs))
+	if e.Fingerprint() != fp {
+		t.Error("Boost with no new rows must leave the ensemble untouched")
+	}
+}
+
+// BenchmarkFitVsBoost times one round of model updating at a realistic
+// accumulated-data size: a full refit over all rows vs boosting the
+// previous ensemble with the newest batch only. CI turns this into the
+// BENCH_pr6.json training rows.
+func BenchmarkFitVsBoost(b *testing.B) {
+	progs, y := synth(1024, 13)
+	newStart := len(progs) - 64 // one measurement batch of new rows
+	b.Run("mode=fit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := NewCostModel(DefaultOpts())
+			m.Fit(progs[:newStart], y[:newStart])
+			b.StartTimer()
+			m.Fit(progs, y)
+			b.StopTimer()
+		}
+	})
+	b.Run("mode=boost", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := NewCostModel(DefaultOpts())
+			m.Fit(progs[:newStart], y[:newStart])
+			b.StartTimer()
+			m.Boost(progs, y, newStart)
+			b.StopTimer()
+		}
+	})
+}
