@@ -400,21 +400,44 @@ func (t *Tuner) Tune() (Program, error) {
 
 // ApplyBest replays the best recorded schedule for this task from the
 // options' ApplyHistoryBest source (log/registry file or registry
-// server URL) without spending any measurement.
+// server URL) without spending any measurement. A server source is
+// queried per key (/v1/best) instead of downloading the full snapshot —
+// the client rides the server's encoded-response cache and conditional
+// GETs, so a fleet of consumers applying unchanged schedules costs the
+// server ~0 bytes per answer. The served record is byte-identical to
+// the snapshot path's (the server stores records verbatim).
 func (t *Tuner) ApplyBest() (Program, error) {
-	reg, err := regserver.LoadRegistry(t.opts.ApplyHistoryBest)
+	s, sec, err := applyBestFrom(t.opts.ApplyHistoryBest, t.task.Name, t.task.Target.Machine.Name, t.task.DAG)
 	if err != nil {
-		return Program{}, fmt.Errorf("ansor: apply history best: %w", err)
-	}
-	s, sec, err := reg.ApplyBest(t.task.Name, t.task.Target.Machine.Name, t.task.DAG)
-	if err != nil {
-		return Program{}, fmt.Errorf("ansor: %w", err)
+		return Program{}, err
 	}
 	low, err := ir.Lower(s)
 	if err != nil {
 		return Program{}, fmt.Errorf("ansor: apply history best: %w", err)
 	}
 	return Program{State: s, Seconds: sec, GFLOPS: low.TotalFlops() / sec / 1e9}, nil
+}
+
+// applyBestFrom resolves one task's best schedule from an
+// ApplyHistoryBest source: per-key server query for URLs, local
+// registry load for files.
+func applyBestFrom(src, workload, target string, dag *te.DAG) (*ir.State, float64, error) {
+	if regserver.IsURL(src) {
+		s, sec, err := regserver.NewClient(src).ApplyBest(workload, target, dag)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ansor: apply history best: %w", err)
+		}
+		return s, sec, nil
+	}
+	reg, err := regserver.LoadRegistry(src)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ansor: apply history best: %w", err)
+	}
+	s, sec, err := reg.ApplyBest(workload, target, dag)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ansor: %w", err)
+	}
+	return s, sec, nil
 }
 
 // Best returns the best program measured so far.
@@ -632,20 +655,38 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 // applyNetworkBest serves a whole network's latencies from the registry
 // with zero measurement trials. Every unique subgraph must have a
 // recorded schedule; missing tasks are reported by name so the caller
-// knows what still needs tuning.
+// knows what still needs tuning. A server source is queried per task
+// (/v1/best) instead of snapshotting the whole fleet database: each
+// lookup rides the server's encoded-response cache, and the client's
+// validator cache turns repeat applications into conditional GETs.
 func applyNetworkBest(net Network, target Target, path string) (NetworkResult, error) {
-	reg, err := regserver.LoadRegistry(path)
-	if err != nil {
-		return NetworkResult{}, fmt.Errorf("ansor: apply history best: %w", err)
+	var lookup func(name string, dag *DAG) (measure.Record, bool, error)
+	if regserver.IsURL(path) {
+		cl := regserver.NewClient(path)
+		lookup = func(name string, dag *DAG) (measure.Record, bool, error) {
+			return cl.BestFor(name, target.Machine.Name, dag)
+		}
+	} else {
+		reg, err := regserver.LoadRegistry(path)
+		if err != nil {
+			return NetworkResult{}, fmt.Errorf("ansor: apply history best: %w", err)
+		}
+		lookup = func(name string, dag *DAG) (measure.Record, bool, error) {
+			rec, ok := reg.BestFor(name, target.Machine.Name, dag)
+			return rec, ok, nil
+		}
 	}
 	res := NetworkResult{TaskLatencies: map[string]float64{}}
 	var missing []string
 	for _, task := range net.Tasks {
 		dag := task.Build()
-		// BestFor keys on the task's exact computation fingerprint, so a
-		// record tuned for another shape (e.g. a different batch size
+		// The lookup keys on the task's exact computation fingerprint, so
+		// a record tuned for another shape (e.g. a different batch size
 		// under the same task name) is never served.
-		rec, ok := reg.BestFor(task.Name, target.Machine.Name, dag)
+		rec, ok, err := lookup(task.Name, dag)
+		if err != nil {
+			return NetworkResult{}, fmt.Errorf("ansor: apply history best: task %s: %w", task.Name, err)
+		}
 		if !ok {
 			missing = append(missing, task.Name)
 			continue

@@ -3,8 +3,17 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
 	"encoding/json"
+	"encoding/pem"
 	"fmt"
+	"math/big"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -373,5 +382,139 @@ func TestFleetAndServeFlagErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"fleet", "-addr", "256.0.0.1:99999"}, &out, &out, nil); err == nil {
 		t.Error("unbindable fleet address should fail")
+	}
+	if err := run(context.Background(), []string{"serve", "-tls-cert", "cert.pem"}, &out, &out, nil); err == nil {
+		t.Error("-tls-cert without -tls-key should fail")
+	}
+	if err := run(context.Background(), []string{"serve", "-tls-key", "key.pem"}, &out, &out, nil); err == nil {
+		t.Error("-tls-key without -tls-cert should fail")
+	}
+	if err := run(context.Background(), []string{"serve", "-publish-quota", "-1"}, &out, &out, nil); err == nil {
+		t.Error("negative -publish-quota should fail")
+	}
+	if err := run(context.Background(), []string{"serve", "-max-keys", "-1"}, &out, &out, nil); err == nil {
+		t.Error("negative -max-keys should fail")
+	}
+	if err := run(context.Background(), []string{"serve", "-best-cache", "-1"}, &out, &out, nil); err == nil {
+		t.Error("negative -best-cache should fail")
+	}
+}
+
+// selfSignedCert writes a throwaway PEM certificate/key pair valid for
+// 127.0.0.1 and returns their paths.
+func selfSignedCert(t *testing.T) (certFile, keyFile string) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "ansor-registry test"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1)},
+		IsCA:         true, BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	certFile = filepath.Join(dir, "cert.pem")
+	keyFile = filepath.Join(dir, "key.pem")
+	if err := os.WriteFile(certFile, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return certFile, keyFile
+}
+
+// TestServeTLS: -tls-cert/-tls-key serve HTTPS end to end; the client
+// trusts the self-signed certificate through WithTLSConfig.
+func TestServeTLS(t *testing.T) {
+	certFile, keyFile := selfSignedCert(t)
+	addr, out, shutdown := startServe(t, "-store", "", "-tls-cert", certFile, "-tls-key", keyFile)
+	defer shutdown()
+	url := strings.Replace(addr, "http://", "https://", 1)
+
+	certPEM, err := os.ReadFile(certFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(certPEM) {
+		t.Fatal("bad test certificate")
+	}
+	cl := regserver.NewClient(url).WithTLSConfig(&tls.Config{RootCAs: pool})
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping over TLS: %v", err)
+	}
+	if ok, err := cl.Add(measure.Record{
+		Task: "op", Target: "cpu", DAG: "d",
+		Steps: []byte(`[{"i":1}]`), Seconds: 1, Noiseless: 1,
+	}); err != nil || !ok {
+		t.Fatalf("publish over TLS: ok=%v err=%v", ok, err)
+	}
+	if best, ok, err := cl.Best("op", "cpu", "d"); err != nil || !ok || best.Seconds != 1 {
+		t.Fatalf("best over TLS: %+v ok=%v err=%v", best, ok, err)
+	}
+	// Conditional GET works through TLS like plain HTTP.
+	if _, _, err := cl.Best("op", "cpu", "d"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BestNotModified < 1 {
+		t.Errorf("second Best should revalidate with 304, metrics: %+v", m)
+	}
+	// A plain-HTTP client must not reach an HTTPS listener.
+	if err := regserver.NewClient(addr).Ping(); err == nil {
+		t.Error("plain http ping against TLS listener should fail")
+	}
+	if !strings.Contains(out.String(), "(https,") {
+		t.Errorf("startup line should note https: %s", out.String())
+	}
+}
+
+// TestServeQuotaAndMaxKeys: the hardening flags reach the server — a
+// publisher exceeding -publish-quota gets 429, and -max-keys bounds
+// the in-memory registry by evicting idle keys.
+func TestServeQuotaAndMaxKeys(t *testing.T) {
+	url, _, shutdown := startServe(t, "-store", "", "-publish-quota", "2", "-max-keys", "3")
+	defer shutdown()
+	cl := regserver.NewClient(url)
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Add(measure.Record{
+			Task: fmt.Sprintf("op%d", i), Target: "cpu", DAG: "d",
+			Steps: []byte(`[]`), Seconds: 1, Noiseless: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Add(measure.Record{
+		Task: "op2", Target: "cpu", DAG: "d", Steps: []byte(`[]`), Seconds: 1, Noiseless: 1,
+	}); err == nil || !strings.Contains(err.Error(), "quota exceeded") {
+		t.Fatalf("third publish in the window should hit the quota, got %v", err)
+	}
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QuotaRejections != 1 {
+		t.Errorf("quota_rejections = %d, want 1", m.QuotaRejections)
+	}
+	if m.Keys > 3 {
+		t.Errorf("registry exceeded -max-keys: %d keys", m.Keys)
 	}
 }

@@ -4,17 +4,32 @@
 // by past searches ("apply history best" in TVM terms) instead of
 // re-searching; this package turns tuning logs into that database —
 // load/save/merge of log files and zero-trial replay of the best entry.
+//
+// The store is sharded by key hash (power-of-two shard count, FNV-1a
+// over the key fields), so concurrent readers and publishers contend
+// per shard instead of on one lock — the serve path of a shared
+// registry server scales with cores. Sharding is invisible in every
+// output: Keys, Query, Log and the snapshot bytes merge shards
+// deterministically, so a registry at any shard count is bit-identical
+// to the single-shard one (see DESIGN.md, "Serve path at scale").
 package registry
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ir"
 	"repro/internal/measure"
 	"repro/internal/te"
 )
+
+// DefaultShards is the shard count New uses: enough to spread a
+// many-core server's read traffic, cheap enough that tiny in-process
+// registries don't notice.
+const DefaultShards = 16
 
 // Key identifies one registry entry. One task name legitimately covers
 // several computation shapes (e.g. batch variants), whose schedules and
@@ -31,16 +46,96 @@ type Key struct {
 	DAG string
 }
 
+// less is the canonical key order every merged output uses.
+func (k Key) less(o Key) bool {
+	if k.Workload != o.Workload {
+		return k.Workload < o.Workload
+	}
+	if k.Target != o.Target {
+		return k.Target < o.Target
+	}
+	return k.DAG < o.DAG
+}
+
+// entry wraps a stored record with its last-query stamp. Entries are
+// held by pointer so the read path can stamp queries under the shard's
+// read lock.
+type entry struct {
+	rec measure.Record
+	// lastQuery is the registry clock value of the most recent use of
+	// this entry: a Best or Touch that served it, or its insertion
+	// (insertion counts as use, so a full registry does not evict every
+	// newcomer on arrival). Eviction under MaxKeys removes the entry
+	// with the smallest stamp first.
+	lastQuery atomic.Uint64
+}
+
+// shard is one lock domain of the store.
+type shard struct {
+	mu   sync.RWMutex
+	best map[Key]*entry
+}
+
 // Registry holds the fastest record seen per key. It is safe for
 // concurrent use.
 type Registry struct {
-	mu   sync.RWMutex
-	best map[Key]measure.Record
+	shards []shard
+	mask   uint64
+
+	// version counts accepted mutations (improving adds and evictions).
+	// The registry service uses it as a cheap change validator for
+	// query/snapshot ETags: an unchanged version guarantees unchanged
+	// contents.
+	version atomic.Uint64
+	// clock issues last-query stamps.
+	clock   atomic.Uint64
+	size    atomic.Int64
+	evicted atomic.Int64
+
+	// MaxKeys, when > 0, bounds the number of keys held in memory: an
+	// accepted Add past the bound evicts the least-recently-used entry
+	// (use = a query serving it, or its insertion; ties broken by key
+	// order, so eviction is deterministic for a deterministic history).
+	// Evicted keys are only a memory bound, not data loss for a served
+	// registry: the durable store still holds them until the next
+	// snapshot. Set before concurrent use.
+	MaxKeys int
+	// NotifyChange, when non-nil, is called after any mutation that can
+	// change a served answer — an accepted Add or an eviction — with the
+	// affected key, outside the shard locks. The registry service hooks
+	// its encoded-response cache invalidation here. Set before
+	// concurrent use.
+	NotifyChange func(Key)
 }
 
-// New returns an empty registry.
-func New() *Registry {
-	return &Registry{best: map[Key]measure.Record{}}
+// New returns an empty registry with DefaultShards shards.
+func New() *Registry { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty registry with the given shard count,
+// rounded up to a power of two (minimum 1). All shard counts produce
+// bit-identical Keys/Query/Log/snapshot output; the count only changes
+// how many concurrent writers and readers proceed without contention.
+func NewSharded(n int) *Registry {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	r := &Registry{shards: make([]shard, p), mask: uint64(p - 1)}
+	for i := range r.shards {
+		r.shards[i].best = map[Key]*entry{}
+	}
+	return r
+}
+
+// shardFor hashes the key fields (FNV-1a, NUL-separated) onto a shard.
+func (r *Registry) shardFor(k Key) *shard {
+	h := fnv.New64a()
+	h.Write([]byte(k.Workload))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Target))
+	h.Write([]byte{0})
+	h.Write([]byte(k.DAG))
+	return &r.shards[h.Sum64()&r.mask]
 }
 
 // accepts reports whether a record is valid registry material at all.
@@ -63,14 +158,93 @@ func (r *Registry) Add(rec measure.Record) bool {
 		return false
 	}
 	k := Key{rec.Task, rec.Target, rec.DAG}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if cur, ok := r.best[k]; ok && !beats(cur, rec) {
+	sh := r.shardFor(k)
+	sh.mu.Lock()
+	cur, existed := sh.best[k]
+	if existed && !beats(cur.rec, rec) {
+		sh.mu.Unlock()
 		return false
 	}
-	r.best[k] = rec
+	e := &entry{rec: rec}
+	if existed {
+		// The improved entry keeps its query history: a hot key does not
+		// become an eviction candidate just because it got faster.
+		e.lastQuery.Store(cur.lastQuery.Load())
+	} else {
+		e.lastQuery.Store(r.clock.Add(1))
+	}
+	sh.best[k] = e
+	sh.mu.Unlock()
+	if !existed {
+		r.size.Add(1)
+	}
+	r.version.Add(1)
+	if r.NotifyChange != nil {
+		r.NotifyChange(k)
+	}
+	if r.MaxKeys > 0 {
+		r.evictOver(r.MaxKeys)
+	}
 	return true
 }
+
+// evictOver removes least-recently-queried entries until the registry
+// holds at most max keys. The scan is linear over all entries per
+// eviction — acceptable because eviction only triggers on publishes
+// (rare next to serves) of an over-bound registry.
+func (r *Registry) evictOver(max int) {
+	for r.size.Load() > int64(max) {
+		victim, ok := r.evictionCandidate()
+		if !ok {
+			return
+		}
+		sh := r.shardFor(victim)
+		sh.mu.Lock()
+		_, present := sh.best[victim]
+		if present {
+			delete(sh.best, victim)
+		}
+		sh.mu.Unlock()
+		if !present {
+			continue // raced with another evictor
+		}
+		r.size.Add(-1)
+		r.evicted.Add(1)
+		r.version.Add(1)
+		if r.NotifyChange != nil {
+			r.NotifyChange(victim)
+		}
+	}
+}
+
+// evictionCandidate picks the entry with the smallest (lastQuery, key):
+// the least recently used (queried or inserted), ties broken by key
+// order.
+func (r *Registry) evictionCandidate() (Key, bool) {
+	var best Key
+	var bestStamp uint64
+	found := false
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.best {
+			stamp := e.lastQuery.Load()
+			if !found || stamp < bestStamp || (stamp == bestStamp && k.less(best)) {
+				best, bestStamp, found = k, stamp, true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return best, found
+}
+
+// Evictions returns how many entries MaxKeys pressure has removed.
+func (r *Registry) Evictions() int64 { return r.evicted.Load() }
+
+// Version returns the mutation counter: it changes whenever an Add is
+// accepted or an entry is evicted, so an unchanged version proves every
+// served answer is unchanged too.
+func (r *Registry) Version() uint64 { return r.version.Load() }
 
 // Improves reports whether Add would accept the record: a valid record
 // strictly better than the current best for its key. Callers that need
@@ -80,10 +254,12 @@ func (r *Registry) Improves(rec measure.Record) bool {
 	if !accepts(rec) {
 		return false
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	cur, ok := r.best[Key{rec.Task, rec.Target, rec.DAG}]
-	return !ok || beats(cur, rec)
+	k := Key{rec.Task, rec.Target, rec.DAG}
+	sh := r.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	cur, ok := sh.best[k]
+	return !ok || beats(cur.rec, rec)
 }
 
 // AddLog offers every record of a log and returns how many improved a
@@ -104,19 +280,46 @@ func (r *Registry) Merge(o *Registry) int {
 	return r.AddLog(o.Log())
 }
 
+// lookupStamp returns the entry under k, stamping its last-query clock
+// when stamp is set. Read-lock only: the stamp is atomic.
+func (r *Registry) lookupStamp(k Key, stamp bool) (*entry, bool) {
+	sh := r.shardFor(k)
+	sh.mu.RLock()
+	e, ok := sh.best[k]
+	sh.mu.RUnlock()
+	if ok && stamp {
+		e.lastQuery.Store(r.clock.Add(1))
+	}
+	return e, ok
+}
+
 // Best returns the fastest record for the workload's exact computation
 // (DAG fingerprint) on the target, falling back to a legacy entry
 // (recorded before targets/fingerprints existed) if no exact match
 // exists. A record of a different shape of the same task name is never
-// returned: its schedule and time do not transfer.
+// returned: its schedule and time do not transfer. Serving through Best
+// marks the entry recently-queried for MaxKeys eviction.
 func (r *Registry) Best(workload, target, dag string) (measure.Record, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if rec, ok := r.best[Key{workload, target, dag}]; ok {
-		return rec, true
+	if e, ok := r.lookupStamp(Key{workload, target, dag}, true); ok {
+		return e.rec, true
 	}
-	rec, ok := r.best[Key{workload, "", ""}]
-	return rec, ok
+	e, ok := r.lookupStamp(Key{workload, "", ""}, true)
+	if !ok {
+		return measure.Record{}, false
+	}
+	return e.rec, true
+}
+
+// Touch marks the entry Best(workload, target, dag) would serve as
+// recently queried without copying the record out: the registry
+// service calls it on encoded-response cache hits, which bypass Best
+// entirely — without the touch, the hottest keys would look idle to
+// MaxKeys eviction.
+func (r *Registry) Touch(workload, target, dag string) {
+	if _, ok := r.lookupStamp(Key{workload, target, dag}, true); ok {
+		return
+	}
+	r.lookupStamp(Key{workload, "", ""}, true)
 }
 
 // BestFor is Best keyed by the computation itself.
@@ -141,28 +344,23 @@ func (r *Registry) ApplyBest(workload, target string, dag *te.DAG) (*ir.State, f
 
 // Len returns the number of keys with a best entry.
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.best)
+	return int(r.size.Load())
 }
 
-// Keys returns every key, sorted for deterministic iteration.
+// Keys returns every key, sorted for deterministic iteration: the
+// shard merge is a full collect-then-sort, so the output is identical
+// at any shard count.
 func (r *Registry) Keys() []Key {
-	r.mu.RLock()
-	out := make([]Key, 0, len(r.best))
-	for k := range r.best {
-		out = append(out, k)
+	out := make([]Key, 0, r.Len())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k := range sh.best {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
-	r.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Workload != out[j].Workload {
-			return out[i].Workload < out[j].Workload
-		}
-		if out[i].Target != out[j].Target {
-			return out[i].Target < out[j].Target
-		}
-		return out[i].DAG < out[j].DAG
-	})
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out
 }
 
@@ -171,46 +369,54 @@ func (r *Registry) Keys() []Key {
 // workload or target matches every value — so ("GMM.s1", "", 0) returns
 // the workload's best record on every target the fleet has measured,
 // which is exactly what cross-target warm start wants.
+//
+// The scan is a single pass: each shard is snapshotted once under its
+// read lock, only the matching records are collected, and only those
+// are sorted — no full key sort, no per-key re-locking.
 func (r *Registry) Query(workload, target string, limit int) *measure.Log {
-	l := &measure.Log{}
-	for _, k := range r.Keys() {
-		if workload != "" && k.Workload != workload {
-			continue
-		}
-		if target != "" && k.Target != target {
-			continue
-		}
-		if rec, ok := r.Lookup(k); ok {
-			l.Records = append(l.Records, rec)
-			if limit > 0 && len(l.Records) >= limit {
-				break
+	type hit struct {
+		k   Key
+		rec measure.Record
+	}
+	var hits []hit
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.best {
+			if workload != "" && k.Workload != workload {
+				continue
 			}
+			if target != "" && k.Target != target {
+				continue
+			}
+			hits = append(hits, hit{k, e.rec})
 		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].k.less(hits[j].k) })
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	l := &measure.Log{}
+	for _, h := range hits {
+		l.Records = append(l.Records, h.rec)
 	}
 	return l
 }
 
 // Lookup returns the entry stored under the exact key.
 func (r *Registry) Lookup(k Key) (measure.Record, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	rec, ok := r.best[k]
-	return rec, ok
+	e, ok := r.lookupStamp(k, false)
+	if !ok {
+		return measure.Record{}, false
+	}
+	return e.rec, true
 }
 
 // Log snapshots the registry as a log of best records in Keys order, so
 // Save output is deterministic and re-loadable anywhere logs are.
 func (r *Registry) Log() *measure.Log {
-	keys := r.Keys()
-	l := &measure.Log{}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for _, k := range keys {
-		if rec, ok := r.best[k]; ok {
-			l.Records = append(l.Records, rec)
-		}
-	}
-	return l
+	return r.Query("", "", 0)
 }
 
 // SaveFile writes the registry's best records to path (line-oriented,

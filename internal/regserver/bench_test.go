@@ -1,12 +1,14 @@
 package regserver_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -79,6 +81,109 @@ func BenchmarkApplyBest(b *testing.B) {
 			}
 		}
 	})
+}
+
+// serveRec builds a record with a realistically sized schedule: tuning
+// logs carry the full step list (hundreds of bytes to a few KB), and the
+// serve path's marshal cost scales with it.
+func serveRec(i int) measure.Record {
+	steps := `[{"step":"SP","stage":"matmul","iter":0,"lengths":[4,8,16]}`
+	for j := 0; j < 24; j++ {
+		steps += fmt.Sprintf(`,{"step":"AN","stage":"matmul","iter":%d,"ann":%d}`, j, i%7)
+	}
+	steps += `]`
+	return measure.Record{
+		Task: fmt.Sprintf("task%03d", i), Target: "intel-xeon", DAG: fmt.Sprintf("dag%03d", i%8),
+		Steps:   json.RawMessage(steps),
+		Seconds: 1 + float64(i%97)/100, Noiseless: 1 + float64(i%97)/100,
+	}
+}
+
+// BenchmarkServeBest measures the /v1/best serve path at the handler
+// level (loopback HTTP round trips would mask it) across the cache
+// regimes and shard counts, with parallel clients:
+//
+//   - nocache: the pre-cache serve path — registry lookup + JSON marshal
+//     per request (SetBestCache(0)).
+//   - cold: every request misses the cache (capacity 1, cycling keys),
+//     so it pays the miss path including the fill attempt.
+//   - warm: every request hits the cache — the steady state of a fleet
+//     reusing far more schedules than it searches.
+//   - conditional: warm plus a current If-None-Match validator — the
+//     steady state of revalidating clients, served as a bodyless 304.
+//
+// Reported per variant: ns/op, requests/s, and response-body
+// bytes/request (≈0 for conditional). CI folds the grid into the
+// BENCH_pr7.json artifact.
+func BenchmarkServeBest(b *testing.B) {
+	const nKeys = 256
+	for _, mode := range []string{"nocache", "cold", "warm", "conditional"} {
+		for _, shards := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("mode=%s/shards=%d", mode, shards), func(b *testing.B) {
+				reg := registry.NewSharded(shards)
+				for i := 0; i < nKeys; i++ {
+					if !reg.Add(serveRec(i)) {
+						b.Fatal("benchmark record rejected")
+					}
+				}
+				srv := regserver.New(reg)
+				switch mode {
+				case "nocache":
+					srv.SetBestCache(0)
+				case "cold":
+					srv.SetBestCache(1) // cycling nKeys keys: ~every request misses
+				}
+				h := srv.Handler()
+
+				// Pre-built read-only requests (and their validators, via a
+				// warming pass that also fills the cache for warm/conditional).
+				reqs := make([]*http.Request, nKeys)
+				etags := make([]string, nKeys)
+				for i := 0; i < nKeys; i++ {
+					r := serveRec(i)
+					u := fmt.Sprintf("/v1/best?workload=%s&target=%s&dag=%s", r.Task, r.Target, r.DAG)
+					req, err := http.NewRequest("GET", u, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reqs[i] = req
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						b.Fatalf("warming GET %s: %d", u, w.Code)
+					}
+					etags[i] = w.Header().Get("ETag")
+				}
+
+				var bodyBytes atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						req := reqs[i%nKeys]
+						if mode == "conditional" {
+							req = req.Clone(context.Background())
+							req.Header.Set("If-None-Match", etags[i%nKeys])
+						}
+						w := httptest.NewRecorder()
+						h.ServeHTTP(w, req)
+						if mode == "conditional" {
+							if w.Code != http.StatusNotModified {
+								b.Fatalf("want 304, got %d", w.Code)
+							}
+						} else if w.Code != http.StatusOK {
+							b.Fatalf("want 200, got %d", w.Code)
+						}
+						bodyBytes.Add(int64(w.Body.Len()))
+						i++
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+				b.ReportMetric(float64(bodyBytes.Load())/float64(b.N), "bytes/req")
+			})
+		}
+	}
 }
 
 // BenchmarkRecorderPublish measures the recorder hot path while

@@ -2,6 +2,7 @@ package regserver
 
 import (
 	"bytes"
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ir"
@@ -21,23 +23,34 @@ import (
 // registry.Registry API (Add/Best/BestFor/ApplyBest/Keys/Len plus
 // Snapshot and Merge) with an added error return per call: the network
 // is allowed to fail where process memory is not.
+//
+// The client keeps a per-key validator cache: every /v1/best (and
+// records/snapshot query) response's ETag and body are remembered, and
+// repeat requests go out as conditional GETs (If-None-Match). When the
+// server's answer has not changed it responds 304 with no body, and the
+// client decodes its cached bytes — so a fleet of clients re-checking
+// unchanged schedules costs the server ~0 bytes and no marshaling. The
+// cache is shared across WithTimeout/WithToken/WithTLSConfig copies.
 type Client struct {
 	base  string
 	token string
 	hc    *http.Client
+	vc    *validatorCache
 }
 
 // NewClient returns a client for the server at base (e.g.
-// "http://127.0.0.1:8421"). A trailing slash is tolerated. A bearer
-// token may be embedded in the URL's userinfo — "http://:TOKEN@host" —
-// for servers started with -auth-token; it is stripped from the base
-// and sent as an Authorization header instead (see SplitTokenURL).
+// "http://127.0.0.1:8421" or an https URL). A trailing slash is
+// tolerated. A bearer token may be embedded in the URL's userinfo —
+// "http://:TOKEN@host" — for servers started with -auth-token; it is
+// stripped from the base and sent as an Authorization header instead
+// (see SplitTokenURL).
 func NewClient(base string) *Client {
 	base, token := SplitTokenURL(base)
 	return &Client{
 		base:  strings.TrimRight(base, "/"),
 		token: token,
 		hc:    &http.Client{Timeout: 30 * time.Second},
+		vc:    newValidatorCache(),
 	}
 }
 
@@ -46,14 +59,83 @@ func NewClient(base string) *Client {
 // deployments set this well below the flush interval so one hung
 // request cannot back up the buffer across multiple flush windows.
 func (c *Client) WithTimeout(d time.Duration) *Client {
-	return &Client{base: c.base, token: c.token, hc: &http.Client{Timeout: d}}
+	return &Client{base: c.base, token: c.token, hc: &http.Client{Timeout: d, Transport: c.hc.Transport}, vc: c.vc}
 }
 
 // WithToken returns a copy of the client authenticating with the given
 // bearer token (for callers that hold the token separately from the
 // URL).
 func (c *Client) WithToken(token string) *Client {
-	return &Client{base: c.base, token: token, hc: c.hc}
+	return &Client{base: c.base, token: token, hc: c.hc, vc: c.vc}
+}
+
+// WithTLSConfig returns a copy of the client using the given TLS
+// configuration for https servers (`ansor-registry serve -tls-cert
+// -tls-key`) — e.g. a config trusting a private CA.
+func (c *Client) WithTLSConfig(cfg *tls.Config) *Client {
+	hc := &http.Client{Timeout: c.hc.Timeout, Transport: &http.Transport{TLSClientConfig: cfg}}
+	return &Client{base: c.base, token: c.token, hc: hc, vc: c.vc}
+}
+
+// maxValidators bounds each validator map: past it an arbitrary entry
+// is dropped — the cache is an optimization, not a correctness
+// surface, so simple pressure relief beats LRU bookkeeping here.
+const maxValidators = 4096
+
+// validator is one remembered (ETag, body) pair.
+type validator struct {
+	etag string
+	body []byte
+}
+
+// validatorCache remembers response validators per best-key and per
+// query URL. Safe for concurrent use.
+type validatorCache struct {
+	mu      sync.Mutex
+	best    map[cacheKey]validator
+	queries map[string]validator
+}
+
+func newValidatorCache() *validatorCache {
+	return &validatorCache{best: map[cacheKey]validator{}, queries: map[string]validator{}}
+}
+
+func (v *validatorCache) getBest(k cacheKey) (validator, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	val, ok := v.best[k]
+	return val, ok
+}
+
+func (v *validatorCache) putBest(k cacheKey, val validator) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.best[k]; !ok && len(v.best) >= maxValidators {
+		for old := range v.best {
+			delete(v.best, old)
+			break
+		}
+	}
+	v.best[k] = val
+}
+
+func (v *validatorCache) getQuery(u string) (validator, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	val, ok := v.queries[u]
+	return val, ok
+}
+
+func (v *validatorCache) putQuery(u string, val validator) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.queries[u]; !ok && len(v.queries) >= maxValidators {
+		for old := range v.queries {
+			delete(v.queries, old)
+			break
+		}
+	}
+	v.queries[u] = val
 }
 
 // get issues an authenticated GET.
@@ -233,26 +315,92 @@ func (c *Client) Merge(r *registry.Registry) (int, error) {
 // Best returns the server's fastest record for (workload, target, dag),
 // with the same legacy fallback as registry.Best. ok is false when the
 // server has no entry; err reports transport or server failures.
+//
+// Repeat queries for the same key are conditional GETs: the client
+// remembers the last ETag and body per key, and an unchanged answer
+// comes back as a bodyless 304 decoded from the cached bytes — byte-
+// identical to a fresh 200, since the tag is a content hash of the
+// exact encoded body.
 func (c *Client) Best(workload, target, dag string) (measure.Record, bool, error) {
 	q := url.Values{"workload": {workload}, "target": {target}, "dag": {dag}}
 	u := c.base + "/v1/best?" + q.Encode()
-	resp, err := c.get(u)
+	k := cacheKey{workload, target, dag}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
 	if err != nil {
 		return measure.Record{}, false, fmt.Errorf("regserver: best from %s: %w", c.base, err)
 	}
-	if resp.StatusCode == http.StatusNotFound {
+	c.auth(req)
+	cached, have := c.vc.getBest(k)
+	if have {
+		req.Header.Set("If-None-Match", cached.etag)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return measure.Record{}, false, fmt.Errorf("regserver: best from %s: %w", c.base, err)
+	}
+	var body []byte
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		resp.Body.Close()
+		body = cached.body // If-None-Match is only sent when cached
+	case http.StatusNotFound:
 		resp.Body.Close()
 		return measure.Record{}, false, nil
-	}
-	if resp.StatusCode != http.StatusOK {
+	case http.StatusOK:
+		body, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return measure.Record{}, false, fmt.Errorf("regserver: best from %s: %w", c.base, err)
+		}
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			c.vc.putBest(k, validator{etag: etag, body: body})
+		}
+	default:
 		return measure.Record{}, false, errorOf(resp)
 	}
-	defer resp.Body.Close()
 	var rec measure.Record
-	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+	if err := json.Unmarshal(body, &rec); err != nil {
 		return measure.Record{}, false, fmt.Errorf("regserver: best from %s: %w", c.base, err)
 	}
 	return rec, true, nil
+}
+
+// getLog fetches a line-oriented record log from u with the query
+// validator cache: a 304 parses the cached bytes, a 200 refreshes them.
+// The records/snapshot ETags are registry-version-derived, so any
+// registry change refetches — never a stale answer.
+func (c *Client) getLog(u string) (*measure.Log, error) {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.auth(req)
+	cached, have := c.vc.getQuery(u)
+	if have {
+		req.Header.Set("If-None-Match", cached.etag)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var body []byte
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		resp.Body.Close()
+		body = cached.body
+	case http.StatusOK:
+		body, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			c.vc.putQuery(u, validator{etag: etag, body: body})
+		}
+	default:
+		return nil, errorOf(resp)
+	}
+	return measure.Load(bytes.NewReader(body))
 }
 
 // BestFor is Best keyed by the computation itself.
@@ -301,15 +449,7 @@ func (c *Client) Records(workload, target string, limit int) (*measure.Log, erro
 	if enc := q.Encode(); enc != "" {
 		u += "?" + enc
 	}
-	resp, err := c.get(u)
-	if err != nil {
-		return nil, fmt.Errorf("regserver: records from %s: %w", c.base, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, errorOf(resp)
-	}
-	defer resp.Body.Close()
-	l, err := measure.Load(resp.Body)
+	l, err := c.getLog(u)
 	if err != nil {
 		return nil, fmt.Errorf("regserver: records from %s: %w", c.base, err)
 	}
@@ -363,17 +503,10 @@ func (c *Client) Len() (int, error) {
 // Snapshot downloads the server's full best set as an in-process
 // registry: records arrive verbatim (raw steps, exact float
 // round-trip), so the result is bit-identical to a registry built
-// locally from the same records.
+// locally from the same records. Repeat snapshots of an unchanged
+// registry revalidate with a 304 and re-parse the cached bytes.
 func (c *Client) Snapshot() (*registry.Registry, error) {
-	resp, err := c.get(c.base + "/v1/snapshot")
-	if err != nil {
-		return nil, fmt.Errorf("regserver: snapshot from %s: %w", c.base, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, errorOf(resp)
-	}
-	defer resp.Body.Close()
-	l, err := measure.Load(resp.Body)
+	l, err := c.getLog(c.base + "/v1/snapshot")
 	if err != nil {
 		return nil, fmt.Errorf("regserver: snapshot from %s: %w", c.base, err)
 	}

@@ -20,9 +20,12 @@
 package regserver
 
 import (
+	"bytes"
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -74,8 +77,9 @@ func SplitTokenURL(base string) (string, string) {
 }
 
 // Server is the HTTP facade over one registry. All handlers are safe
-// for concurrent use: the registry has its own RWMutex (concurrent
-// readers), and durable appends serialize on the server's mutex.
+// for concurrent use: the registry is sharded with per-shard RWMutexes
+// (concurrent readers), and durable appends serialize on the server's
+// mutex.
 type Server struct {
 	reg *registry.Registry
 	mux *http.ServeMux
@@ -87,12 +91,34 @@ type Server struct {
 	// before the handler serves traffic.
 	AuthToken string
 
+	// bestCache holds pre-marshaled /v1/best bodies; nil disables
+	// caching (SetBestCache(0)). Invalidated through the registry's
+	// NotifyChange hook, so any accepted add or eviction — whichever
+	// code path performed it — drops exactly the stale answers.
+	bestCache *respCache
+
+	// Publish quota (EnableQuota): records per minute per publisher
+	// identity. Zero = unlimited.
+	quotaPerMin  int
+	quotaMu      sync.Mutex
+	quotaBuckets map[string]*quotaBucket
+	// now is the quota clock, swappable in tests.
+	now func() time.Time
+
 	// Health counters for /metrics: monotonic over the server's
 	// lifetime, cheap enough to bump on every publish.
-	offered   atomic.Int64 // records received by publish handlers
-	improved  atomic.Int64 // records that improved a key
-	pubErrors atomic.Int64 // publishes refused with a 5xx
-	started   time.Time
+	offered    atomic.Int64 // records received by publish handlers
+	improved   atomic.Int64 // records that improved a key
+	pubErrors  atomic.Int64 // publishes refused with a 5xx
+	bestHits   atomic.Int64 // /v1/best served from the encoded-response cache
+	bestMisses atomic.Int64 // /v1/best that had to marshal
+	bestNotMod atomic.Int64 // /v1/best answered 304 Not Modified
+	quotaRej   atomic.Int64 // publishes refused with a 429
+	// storeBytes tracks the durable store's size without a stat per
+	// /metrics scrape: counted up on append, re-stated once per
+	// snapshot/compact rewrite.
+	storeBytes atomic.Int64
+	started    time.Time
 
 	// mu guards the durability state below; the in-memory registry is
 	// internally synchronized and never held under mu.
@@ -113,14 +139,99 @@ type Server struct {
 
 // New returns a server over an existing registry (nil = a fresh empty
 // one) with no durable store: state lives in memory only (tests,
-// ephemeral caches).
+// ephemeral caches). The encoded-response cache is on by default
+// (DefaultBestCacheEntries); the server claims the registry's
+// NotifyChange hook for its invalidation, so one registry serves one
+// server.
 func New(reg *registry.Registry) *Server {
 	if reg == nil {
 		reg = registry.New()
 	}
-	s := &Server{reg: reg, started: time.Now()}
+	s := &Server{reg: reg, started: time.Now(), now: time.Now}
+	s.SetBestCache(DefaultBestCacheEntries)
 	s.routes()
 	return s
+}
+
+// SetBestCache resizes the encoded-response cache to at most n entries;
+// n <= 0 disables caching (every /v1/best marshals — the pre-cache
+// behavior, kept for benchmarks and debugging). Existing entries are
+// dropped. Call before the handler serves traffic.
+func (s *Server) SetBestCache(n int) {
+	if n <= 0 {
+		s.bestCache = nil
+		s.reg.NotifyChange = nil
+		return
+	}
+	s.bestCache = newRespCache(n, s.reg.Version)
+	s.reg.NotifyChange = s.invalidateBest
+}
+
+// invalidateBest is the registry's change hook: drop the cached answer
+// for the mutated key — and, when the key is a legacy fallback entry,
+// every cached answer of its workload, since any (target, dag) query
+// may have been served from the fallback.
+func (s *Server) invalidateBest(k registry.Key) {
+	c := s.bestCache
+	if c == nil {
+		return
+	}
+	if k.Target == "" && k.DAG == "" {
+		c.invalidateWorkload(k.Workload)
+		return
+	}
+	c.invalidate(cacheKey{k.Workload, k.Target, k.DAG})
+}
+
+// quotaBucket is one publisher's fixed-window record counter.
+type quotaBucket struct {
+	windowStart time.Time
+	count       int
+}
+
+// EnableQuota bounds each publisher identity to recordsPerMinute
+// offered records (fixed one-minute windows). Over-quota publishes are
+// refused with 429 and a Retry-After naming the seconds until the
+// window resets; the publisher's durable local log is unaffected — the
+// batch writer latches the error and the run keeps its own records.
+// Identity is the bearer token when one is presented, else the remote
+// host, so one misbehaving job cannot starve the whole fleet's publish
+// path. Zero disables the quota. Call before serving traffic.
+func (s *Server) EnableQuota(recordsPerMinute int) {
+	s.quotaPerMin = recordsPerMinute
+	s.quotaBuckets = map[string]*quotaBucket{}
+}
+
+// publisherIdentity names the quota bucket for a request.
+func publisherIdentity(r *http.Request) string {
+	if tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok {
+		return "token:" + tok
+	}
+	host := r.RemoteAddr
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	return "host:" + host
+}
+
+// quotaAllow charges n records against the identity's current window.
+// When the charge would exceed the quota nothing is consumed and the
+// time until the window resets is returned.
+func (s *Server) quotaAllow(id string, n int) (time.Duration, bool) {
+	const window = time.Minute
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	now := s.now()
+	b := s.quotaBuckets[id]
+	if b == nil || now.Sub(b.windowStart) >= window {
+		b = &quotaBucket{windowStart: now}
+		s.quotaBuckets[id] = b
+	}
+	if b.count+n > s.quotaPerMin {
+		return b.windowStart.Add(window).Sub(now), false
+	}
+	b.count += n
+	return 0, true
 }
 
 // Open builds a server whose registry is loaded from storePath (a
@@ -140,14 +251,19 @@ func Open(storePath string) (*Server, error) {
 	return s, nil
 }
 
-// openAppend (re)opens the store file for appending. Callers hold s.mu
-// or have exclusive access.
+// openAppend (re)opens the store file for appending and re-bases the
+// cached store size. Callers hold s.mu or have exclusive access.
 func (s *Server) openAppend() error {
 	f, err := os.OpenFile(s.storePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("regserver: open store %s: %w", s.storePath, err)
 	}
 	s.appendF = f
+	// One stat per open/rewrite, instead of one per /metrics scrape:
+	// appends keep the counter current in between.
+	if fi, err := f.Stat(); err == nil {
+		s.storeBytes.Store(fi.Size())
+	}
 	return nil
 }
 
@@ -180,11 +296,21 @@ func (s *Server) addDurably(rec measure.Record) (bool, error) {
 			// (the next snapshot tick retries the reopen).
 			return false, fmt.Errorf("store %s is not open", s.storePath)
 		}
+		// Encode to a buffer first so the cached store size counts
+		// exactly the bytes that reached the file.
+		var buf bytes.Buffer
 		one := measure.Log{Records: []measure.Record{rec}}
-		if err := one.Save(s.appendF); err != nil {
+		if err := one.Save(&buf); err != nil {
+			return false, err
+		}
+		n, err := s.appendF.Write(buf.Bytes())
+		s.storeBytes.Add(int64(n))
+		if err != nil {
 			return false, err
 		}
 	}
+	// Add runs the registry's NotifyChange hook, which drops the stale
+	// encoded-response cache entries for this key.
 	s.reg.Add(rec)
 	return true, nil
 }
@@ -358,6 +484,18 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			}
 			limit = n
 		}
+		// The query result is a pure function of (registry version,
+		// query), so the version doubles as a change validator: a client
+		// revalidating an unchanged registry gets a 304 without the
+		// server even running the query. (The ETag changes on EVERY
+		// registry mutation, including ones outside this query's filter —
+		// an unnecessary refetch, never a stale answer.)
+		etag := queryETag(s.reg.Version(), "records", q.Get("workload"), q.Get("target"), strconv.Itoa(limit))
+		w.Header().Set("ETag", etag)
+		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = s.reg.Query(q.Get("workload"), q.Get("target"), limit).Save(w)
 		return
@@ -376,6 +514,16 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		// rather than silently truncating the batch.
 		writeError(w, http.StatusBadRequest, "parse records: %v", err)
 		return
+	}
+	if s.quotaPerMin > 0 {
+		if wait, ok := s.quotaAllow(publisherIdentity(r), len(l.Records)); !ok {
+			s.quotaRej.Add(1)
+			secs := int(wait/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests,
+				"publish quota exceeded (%d records/minute per publisher); retry in %ds", s.quotaPerMin, secs)
+			return
+		}
 	}
 	res := AddResult{Offered: len(l.Records)}
 	s.offered.Add(int64(len(l.Records)))
@@ -398,24 +546,111 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 // handleBest serves the fastest record for (workload, target, dag) with
 // the same legacy fallback as registry.Best. The caller replays the
 // steps on its own DAG (the server never needs the computation itself).
+//
+// This is the user-facing hot path, and it is built to be almost free
+// in the steady state: the encoded response body is cached per query
+// triple (one map hit, no registry lookup, no marshal), every 200
+// carries a strong ETag (content hash of the body), and an
+// If-None-Match revalidation of an unchanged answer is a 304 with no
+// body at all. Cache entries are invalidated exactly when their key
+// improves or is evicted (registry.NotifyChange), so a 200 after a 304
+// run always carries the new record.
 func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET %s", r.URL.Path)
 		return
 	}
-	q := r.URL.Query()
-	workload := q.Get("workload")
+	workload, target, dag := bestParams(r)
 	if workload == "" {
 		writeError(w, http.StatusBadRequest, "missing workload parameter")
 		return
 	}
-	rec, ok := s.reg.Best(workload, q.Get("target"), q.Get("dag"))
+	ck := cacheKey{workload, target, dag}
+	if c := s.bestCache; c != nil {
+		if body, etag, ok := c.get(ck); ok {
+			// The cache hit bypasses registry.Best, so stamp the entry's
+			// query clock by hand — otherwise the hottest keys would look
+			// idle to MaxKeys eviction. Without a bound the stamp is never
+			// read, so the unbounded (default) hit path skips the lookup.
+			if s.reg.MaxKeys > 0 {
+				s.reg.Touch(workload, target, dag)
+			}
+			s.bestHits.Add(1)
+			s.writeBest(w, r, body, etag)
+			return
+		}
+	}
+	// Capture the version before the read: put only inserts if it is
+	// still current, so a publish racing this fill can never strand a
+	// stale body in the cache.
+	fillVersion := s.reg.Version()
+	rec, ok := s.reg.Best(workload, target, dag)
 	if !ok {
 		writeError(w, http.StatusNotFound,
-			"no schedule recorded for workload %q (this shape) on target %q", workload, q.Get("target"))
+			"no schedule recorded for workload %q (this shape) on target %q", workload, target)
 		return
 	}
-	writeJSON(w, http.StatusOK, rec)
+	s.bestMisses.Add(1)
+	body, err := json.Marshal(rec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode record: %v", err)
+		return
+	}
+	body = append(body, '\n') // exactly the bytes json.Encoder served pre-cache
+	etag := strongETag(body)
+	if c := s.bestCache; c != nil {
+		c.put(ck, body, etag, fillVersion)
+	}
+	s.writeBest(w, r, body, etag)
+}
+
+// bestParams extracts the /v1/best query triple without building the
+// generic url.Values map — the per-request map allocation and escape
+// scan are measurable at cache-hit speeds. Queries containing escapes
+// ('%'), space encoding ('+'), or legacy separators (';') take the
+// generic parser instead, so the fast path never changes semantics; the
+// client always percent-encodes, and the common workload/target/dag
+// alphabets need no encoding at all.
+func bestParams(r *http.Request) (workload, target, dag string) {
+	raw := r.URL.RawQuery
+	if strings.ContainsAny(raw, "%+;") {
+		q := r.URL.Query()
+		return q.Get("workload"), q.Get("target"), q.Get("dag")
+	}
+	var haveW, haveT, haveD bool
+	for raw != "" {
+		var kv string
+		kv, raw, _ = strings.Cut(raw, "&")
+		k, v, _ := strings.Cut(kv, "=")
+		// First occurrence wins, like url.Values.Get.
+		switch {
+		case k == "workload" && !haveW:
+			workload, haveW = v, true
+		case k == "target" && !haveT:
+			target, haveT = v, true
+		case k == "dag" && !haveD:
+			dag, haveD = v, true
+		}
+	}
+	return workload, target, dag
+}
+
+// writeBest finishes a /v1/best response: 304 when the client's
+// validator still matches (the steady-state answer costs ~0 bytes),
+// 200 with the encoded body and its ETag otherwise.
+func (s *Server) writeBest(w http.ResponseWriter, r *http.Request, body []byte, etag string) {
+	// Pre-canonicalized header keys: Set would re-canonicalize on every
+	// request of the serve hot path, for the same wire bytes.
+	h := w.Header()
+	h["Etag"] = []string{etag}
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.bestNotMod.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = []string{"application/json"}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
@@ -444,11 +679,27 @@ type Metrics struct {
 	// failing and the store file is growing unboundedly.
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
 	// StoreBytes is the current size of the durable store file (0
-	// in-memory).
+	// in-memory), tracked incrementally — no stat per scrape.
 	StoreBytes int64 `json:"store_bytes"`
 	// AutoCompactions counts threshold-triggered store compactions
 	// (EnableAutoCompact / `serve -compact-over`).
 	AutoCompactions int64 `json:"auto_compactions"`
+	// Serve-path counters: /v1/best answered from the encoded-response
+	// cache (hits), via a fresh marshal (misses), or as a bodyless 304
+	// against a matching validator. A healthy steady-state fleet shows
+	// hits+not_modified ≫ misses.
+	BestHits        int64 `json:"best_hits"`
+	BestMisses      int64 `json:"best_misses"`
+	BestNotModified int64 `json:"best_not_modified"`
+	// CacheEvictions counts encoded-response cache entries dropped by
+	// LRU capacity pressure (invalidations are not evictions).
+	CacheEvictions int64 `json:"cache_evictions"`
+	// QuotaRejections counts publishes refused with a 429
+	// (EnableQuota / `serve -publish-quota`).
+	QuotaRejections int64 `json:"quota_rejections"`
+	// KeysEvicted counts registry entries removed by MaxKeys memory
+	// pressure (`serve -max-keys`): least recently used first.
+	KeysEvicted int64 `json:"keys_evicted"`
 	// UptimeSeconds since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -458,36 +709,70 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET %s", r.URL.Path)
 		return
 	}
+	writeJSON(w, http.StatusOK, s.metrics())
+}
+
+// metrics assembles the current Metrics snapshot.
+func (s *Server) metrics() Metrics {
 	m := Metrics{
 		Keys:               s.reg.Len(),
 		RecordsOffered:     s.offered.Load(),
 		RecordsImproved:    s.improved.Load(),
 		PublishErrors:      s.pubErrors.Load(),
 		SnapshotAgeSeconds: -1,
+		StoreBytes:         s.storeBytes.Load(),
 		AutoCompactions:    s.autoCompactions.Load(),
+		BestHits:           s.bestHits.Load(),
+		BestMisses:         s.bestMisses.Load(),
+		BestNotModified:    s.bestNotMod.Load(),
+		QuotaRejections:    s.quotaRej.Load(),
+		KeysEvicted:        s.reg.Evictions(),
 		UptimeSeconds:      time.Since(s.started).Seconds(),
 	}
+	if c := s.bestCache; c != nil {
+		m.CacheEvictions = c.evictions.Load()
+	}
+	// A scrape no longer stats the store under s.mu: the size counter is
+	// maintained on every append and re-based on snapshot/compact
+	// rewrites, so /metrics stays cheap however often it is polled.
 	s.mu.Lock()
 	if !s.lastSnapshot.IsZero() {
 		m.SnapshotAgeSeconds = time.Since(s.lastSnapshot).Seconds()
 	}
-	if s.storePath != "" {
-		if fi, err := os.Stat(s.storePath); err == nil {
-			m.StoreBytes = fi.Size()
-		}
-	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, m)
+	return m
 }
 
 // handleSnapshot streams the registry's best records in the
 // line-oriented log format, so the download is directly usable as an
-// ApplyHistoryBest file or another server's store.
+// ApplyHistoryBest file or another server's store. Like the records
+// query it carries a version-derived ETag, so mirroring clients
+// revalidate an unchanged registry for free.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET %s", r.URL.Path)
 		return
 	}
+	etag := queryETag(s.reg.Version(), "snapshot")
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	_ = s.reg.Log().Save(w)
+}
+
+// queryETag derives the validator for a version-gated response: equal
+// tags imply the same query against the same registry version, whose
+// bytes are identical (every response here is a pure function of the
+// two). It changes on every registry mutation — coarser than the
+// per-key /v1/best tags, but computable without running the query.
+func queryETag(version uint64, parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf(`"v%d-%x"`, version, h.Sum64())
 }
