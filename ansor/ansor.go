@@ -178,6 +178,16 @@ type TuningOptions struct {
 	// broker started with -auth-token may be embedded as
 	// "http://:TOKEN@host:port".
 	FleetURL string
+	// PooledCalibration pulls the registry server's fleet-pooled
+	// cross-target time calibration (/v1/calibration) at startup and
+	// applies it wherever sibling-target times need scaling: warm starts
+	// whose task has no local overlap with the sibling target, and
+	// foreign-clock fleet results under near-sibling dispatch. Locally
+	// fit scales always win; the pool only fills the gaps. Requires
+	// RegistryURL (ignored without it). Pooling refines training-data
+	// weighting only — best-k pools and measured bests are never touched
+	// (DESIGN.md, "Heterogeneous fleet").
+	PooledCalibration bool
 	// WarmStartLimit caps how many records each warm-start source
 	// contributes per task (0 = unbounded). Server sources query with
 	// the registry's limit parameter; file sources subsample their task
@@ -243,7 +253,7 @@ type Tuner struct {
 // fresh record to the registry server. The returned recorder and log
 // sink (both possibly nil) are owned by the caller, which must close
 // them.
-func newMeasurer(target Target, opts TuningOptions) (measure.Interface, *measure.Recorder, *os.File, error) {
+func newMeasurer(target Target, opts TuningOptions, cal *measure.Calibration) (measure.Interface, *measure.Recorder, *os.File, error) {
 	rec, cache, f, err := measure.OpenPersistence(opts.RecordTo, opts.ResumeFrom)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("ansor: %w", err)
@@ -265,6 +275,7 @@ func newMeasurer(target Target, opts TuningOptions) (measure.Interface, *measure
 		rm.Workers = opts.Workers
 		rm.Recorder = rec
 		rm.Cache = cache
+		rm.Calibration = cal
 		if err := rm.Ping(); err != nil {
 			if rec != nil {
 				rec.Close()
@@ -292,6 +303,22 @@ func measurerErr(ms measure.Interface) error {
 	return nil
 }
 
+// pooledCalibration fetches the registry server's fleet-pooled
+// cross-target calibration for the run's target when PooledCalibration
+// asks for it; nil (no pooled scales) when the option is off or no
+// registry server is configured. A fetch failure is an error, not a
+// silent cold start — the caller explicitly asked for pooling.
+func pooledCalibration(target Target, opts TuningOptions) (*measure.Calibration, error) {
+	if !opts.PooledCalibration || opts.RegistryURL == "" {
+		return nil, nil
+	}
+	cal, err := regserver.NewClient(opts.RegistryURL).Calibration(target.Machine.Name)
+	if err != nil {
+		return nil, fmt.Errorf("ansor: pooled calibration: %w", err)
+	}
+	return cal, nil
+}
+
 // openWarmSource resolves the options' WarmStartFrom spec (file path,
 // server URL, literal "registry", or a comma-separated mix) into a warm
 // source; nil without error when no warm start was requested.
@@ -310,8 +337,8 @@ func openWarmSource(opts TuningOptions) (warm.Source, error) {
 // records. Replay failures are errors: a warm-start source from a
 // drifted workload definition should fail loudly, like ApplyHistoryBest
 // does, instead of silently starting cold.
-func warmStartPolicy(pol *policy.Policy, src warm.Source, taskName, targetName string) error {
-	recs, err := warm.Records(src, taskName, targetName)
+func warmStartPolicy(pol *policy.Policy, src warm.Source, taskName, targetName string, pooled *measure.Calibration) error {
+	recs, err := warm.RecordsCalibrated(src, taskName, targetName, pooled)
 	if err != nil {
 		return fmt.Errorf("ansor: warm start task %s: %w", taskName, err)
 	}
@@ -325,7 +352,11 @@ func warmStartPolicy(pol *policy.Policy, src warm.Source, taskName, targetName s
 // generation) eagerly and fails if the DAG is invalid.
 func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 	opts.defaults()
-	ms, rec, f, err := newMeasurer(task.Target, opts)
+	cal, err := pooledCalibration(task.Target, opts)
+	if err != nil {
+		return nil, err
+	}
+	ms, rec, f, err := newMeasurer(task.Target, opts, cal)
 	if err != nil {
 		return nil, err
 	}
@@ -353,7 +384,7 @@ func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 		return nil, err
 	}
 	if warmSrc != nil {
-		if err := warmStartPolicy(pol, warmSrc, task.Name, task.Target.Machine.Name); err != nil {
+		if err := warmStartPolicy(pol, warmSrc, task.Name, task.Target.Machine.Name, cal); err != nil {
 			cleanup()
 			return nil, err
 		}
@@ -537,7 +568,11 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 	if opts.ApplyHistoryBest != "" {
 		return applyNetworkBest(net, target, opts.ApplyHistoryBest)
 	}
-	ms, recorder, logFile, err := newMeasurer(target, opts)
+	cal, err := pooledCalibration(target, opts)
+	if err != nil {
+		return NetworkResult{}, err
+	}
+	ms, recorder, logFile, err := newMeasurer(target, opts, cal)
 	if err != nil {
 		return NetworkResult{}, err
 	}
@@ -569,7 +604,7 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 			return NetworkResult{}, fmt.Errorf("ansor: task %s: %w", task.Name, err)
 		}
 		if warmSrc != nil {
-			if err := warmStartPolicy(p, warmSrc, task.Name, target.Machine.Name); err != nil {
+			if err := warmStartPolicy(p, warmSrc, task.Name, target.Machine.Name, cal); err != nil {
 				return NetworkResult{}, err
 			}
 		}

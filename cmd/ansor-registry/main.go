@@ -111,6 +111,8 @@ func runFleet(ctx context.Context, args []string, stdout, stderr io.Writer, onRe
 		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "how long a worker may hold a lease before its slice is requeued on another worker")
 		maxFailures = fs.Int("max-failures", 3, "expired leases before a worker is quarantined (0 = never)")
 		authToken   = fs.String("auth-token", "", "require `Authorization: Bearer <token>` on job submission, leases and results (empty = open); clients embed it as http://:TOKEN@host")
+		maxDist     = fs.Int("max-dispatch-distance", 1, "largest target distance near-sibling dispatch may bridge when a worker's native queue is idle: 0 = exact target match only, 1 = same core family with a different vector ISA (e.g. avx2 <-> avx512), 2 = same device class; CPU <-> GPU never transfers. Each grant uses min(broker, worker)")
+		leaseTarget = fs.Duration("lease-target", 2*time.Second, "size each lease so the worker finishes it in about this long, from its observed programs/sec EWMA — fast workers take bigger bites, slow ones smaller (0 = fixed -capacity-sized leases)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/heap profiles; token-free, off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -122,13 +124,21 @@ func runFleet(ctx context.Context, args []string, stdout, stderr io.Writer, onRe
 		return err
 	}
 	defer ln.Close()
+	if *maxDist < 0 {
+		return fmt.Errorf("fleet: -max-dispatch-distance must be >= 0, got %d", *maxDist)
+	}
+	if *leaseTarget < 0 {
+		return fmt.Errorf("fleet: -lease-target must be >= 0, got %s", *leaseTarget)
+	}
 	b := fleet.NewBroker()
 	b.LeaseTTL = *leaseTTL
 	b.MaxFailures = *maxFailures
 	b.AuthToken = *authToken
+	b.MaxDispatchDistance = *maxDist
+	b.LeaseTarget = *leaseTarget
+	fmt.Fprintf(stdout, "ansor-registry: measurement broker listening on %s (lease TTL %s, quarantine after %d failures, dispatch distance <= %d, lease target %s)\n",
+		ln.Addr(), *leaseTTL, *maxFailures, *maxDist, *leaseTarget)
 	hs := &http.Server{Handler: b.Handler()}
-	fmt.Fprintf(stdout, "ansor-registry: measurement broker listening on %s (lease TTL %s, quarantine after %d failures)\n",
-		ln.Addr(), *leaseTTL, *maxFailures)
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}

@@ -62,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		wsLimit   = fs.Int("warm-start-limit", 0, "cap the records each warm-start source contributes per task, subsampled training-representatively (top-k fastest + slow tail); 0 = unbounded")
 		regURL    = fs.String("registry-url", "", "publish every fresh measurement to this ansor-registry server (e.g. http://127.0.0.1:8421) so concurrent tuning jobs accumulate one shared registry")
 		fleetURL  = fs.String("fleet-url", "", "measure on a distributed worker fleet via this broker (ansor-registry fleet) instead of in-process; output is bit-identical to a local run at any worker count")
+		pooledCal = fs.Bool("pooled-calibration", false, "pull the -registry-url server's fleet-pooled cross-target time calibration at startup; fills calibration gaps for warm starts and foreign-clock fleet results where this run has no local overlap (training-data weighting only; measured bests are untouched)")
 		list      = fs.Bool("list", false, "list available workloads and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -110,7 +111,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Trials: *trials, MeasuresPerRound: *perRound, Seed: *seed, Workers: *workers,
 		RecordTo: *logTo, ResumeFrom: *resume,
 		WarmStartFrom: *warmStart, WarmStartLimit: *wsLimit, ApplyHistoryBest: *applyBest,
-		RegistryURL: *regURL, FleetURL: *fleetURL,
+		RegistryURL: *regURL, FleetURL: *fleetURL, PooledCalibration: *pooledCal,
+	}
+	if *pooledCal && *regURL == "" {
+		return fmt.Errorf("-pooled-calibration needs -registry-url")
 	}
 	if *logTo != "" {
 		// The scheduler checkpoint lives beside the log so a network

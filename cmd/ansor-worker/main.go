@@ -20,6 +20,16 @@
 // submitting run from its tuning seed) and never record tuning logs
 // (records belong to the submitting run); a worker is a pure
 // program-timing service.
+//
+// With near-sibling dispatch (-max-dispatch-distance, default 1) an
+// idle worker also volunteers for jobs of a compatible sibling target —
+// e.g. an avx512 worker drains an avx2 queue. The sibling job is timed
+// on the job target's own analytic model whenever this build knows it,
+// so the reported time is bit-identical to a native measurement and only
+// tagged measured_on for provenance; unknown targets are timed on the
+// hosted model instead and tagged with the clock's name, which makes the
+// submitting run calibrate the time and keep it training-only (see
+// DESIGN.md, "Heterogeneous fleet").
 package main
 
 import (
@@ -94,6 +104,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		id        = fs.String("id", "", "explicit worker id (default <target>-w<seed>)")
 		poll      = fs.Duration("poll", 25*time.Millisecond, "pacing delay between lease polls when long-polling is off or unsupported by the broker")
 		leaseWait = fs.Duration("lease-wait", 10*time.Second, "broker-side long-poll per lease request: an idle worker blocks at the broker and starts measuring the instant work arrives (negative = classic interval polling)")
+		maxDist   = fs.Int("max-dispatch-distance", 1, "largest target distance this worker volunteers for when its native queue is idle: 0 = exact target only, 1 = same core family with a different vector ISA (e.g. avx2 <-> avx512); the broker caps it with its own -max-dispatch-distance")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/heap profiles; token-free, off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,9 +122,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if wid == "" {
 		wid = fmt.Sprintf("%s-w%d", m.Name, *seed)
 	}
+	if *maxDist < 0 {
+		return fmt.Errorf("-max-dispatch-distance must be >= 0, got %d", *maxDist)
+	}
 	w := fleet.NewWorker(*broker, wid, m, *capacity)
 	w.PollInterval = *poll
 	w.LeaseWait = *leaseWait
+	w.MaxDistance = *maxDist
 	if err := w.Ping(); err != nil {
 		return err
 	}

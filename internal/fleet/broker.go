@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/measure"
 	"repro/internal/regserver"
 	"repro/internal/te"
 )
@@ -60,6 +62,27 @@ type Broker struct {
 	// oldest if a submitter dies without acknowledging, so a long-lived
 	// broker cannot leak memory.
 	MaxDoneJobs int
+	// MaxDispatchDistance caps near-sibling dispatch broker-wide: a
+	// worker with an empty native queue may be leased a job whose target
+	// is within this measure.TargetDistance of the worker's (default 1:
+	// same core family, different vector ISA — avx2 ↔ avx512). The
+	// effective bound per lease is min(this, the worker's advertised
+	// MaxDistance), so either side can opt out; 0 restores exact-match
+	// sharding, and CPU ↔ GPU (distance 3) is never dispatched
+	// regardless.
+	MaxDispatchDistance int
+	// LeaseTarget, when > 0, sizes leases by worker throughput instead
+	// of fixed capacity: a worker with an observed rate EWMA gets
+	// ceil(rate × LeaseTarget) programs per lease (clamped to [1, 4×
+	// its requested capacity]), so every lease aims to take roughly
+	// LeaseTarget of wall-clock and fast boards drain more of the queue.
+	// 0 (the default) grants exactly the requested capacity.
+	LeaseTarget time.Duration
+
+	// now is the broker's clock for lease deadlines, expiry reaping and
+	// the throughput EWMA; tests inject a fake to drive expiry without
+	// sleeping (long-poll request holds and uptime stay wall-clock).
+	now func() time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -74,14 +97,16 @@ type Broker struct {
 	// closes and replaces it, waking every blocked lease and job poll.
 	notify chan struct{}
 
-	submitted     int64
-	completedJobs int64
-	expiries      int64
-	dups          int64
-	leaseWakeups  int64
-	jobsBinary    int64
-	jobsJSON      int64
-	transcodes    int64
+	submitted       int64
+	completedJobs   int64
+	expiries        int64
+	dups            int64
+	leaseWakeups    int64
+	jobsBinary      int64
+	jobsJSON        int64
+	transcodes      int64
+	siblingLeases   int64
+	siblingPrograms int64
 
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
@@ -115,6 +140,7 @@ type lease struct {
 	worker   string
 	indices  []int
 	deadline time.Time
+	granted  time.Time // when handed out, for the throughput EWMA
 }
 
 type workerState struct {
@@ -124,19 +150,29 @@ type workerState struct {
 	completed   int64
 	failures    int
 	quarantined bool
+	// ewma is the observed throughput in programs/second, updated on
+	// every completed lease (see ewmaAlpha); 0 until the first one.
+	ewma float64
 }
 
-// NewBroker returns a broker with default lease TTL and quarantine
-// threshold.
+// ewmaAlpha is the throughput EWMA's smoothing factor: each completed
+// lease contributes 30% of the new estimate, so a worker's rate adapts
+// within a few leases without one outlier batch whipsawing lease sizes.
+const ewmaAlpha = 0.3
+
+// NewBroker returns a broker with default lease TTL, quarantine
+// threshold, and sibling dispatch up to distance 1 (avx2 ↔ avx512).
 func NewBroker() *Broker {
 	b := &Broker{
-		LeaseTTL:    30 * time.Second,
-		MaxFailures: 3,
-		MaxDoneJobs: 256,
-		jobs:        map[string]*job{},
-		workers:     map[string]*workerState{},
-		notify:      make(chan struct{}),
-		started:     time.Now(),
+		LeaseTTL:            30 * time.Second,
+		MaxFailures:         3,
+		MaxDoneJobs:         256,
+		MaxDispatchDistance: 1,
+		jobs:                map[string]*job{},
+		workers:             map[string]*workerState{},
+		notify:              make(chan struct{}),
+		started:             time.Now(),
+		now:                 time.Now,
 	}
 	b.routes()
 	return b
@@ -380,7 +416,7 @@ func (b *Broker) handleJob(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(clampWait(waitMS))
 	for {
 		b.mu.Lock()
-		b.reapLocked(time.Now())
+		b.reapLocked(b.now())
 		j, ok := b.jobs[id]
 		if !ok {
 			b.mu.Unlock()
@@ -465,7 +501,7 @@ func (b *Broker) handleLease(w http.ResponseWriter, r *http.Request) {
 	waited := false
 	for {
 		b.mu.Lock()
-		b.reapLocked(time.Now())
+		b.reapLocked(b.now())
 		ws := b.workers[req.Worker]
 		if ws == nil {
 			ws = &workerState{id: req.Worker}
@@ -512,9 +548,13 @@ func (b *Broker) handleLease(w http.ResponseWriter, r *http.Request) {
 }
 
 // tryLeaseLocked hands req a slice of the oldest compatible job, if
-// any. Exact target compatibility: a worker hosting intel-20c-avx2
-// never times an avx512 job, however idle it is. The DAG is served in
-// the richest format the worker accepts; binary-submitted jobs are
+// any. Native work always wins: the job list is scanned at distance 0
+// (exact target match) first, and only a worker with nothing native
+// queued falls through to sibling distances, nearest first, up to
+// min(req.MaxDistance, b.MaxDispatchDistance) — so an idle avx512
+// board drains an avx2 backlog, but never at the cost of its own
+// queue, and CPU ↔ GPU never dispatches. The DAG is served in the
+// richest format the worker accepts; binary-submitted jobs are
 // transcoded to JSON (once, cached) for legacy workers that sent no
 // Accept list. Callers hold b.mu.
 func (b *Broker) tryLeaseLocked(req LeaseRequest) (LeaseGrant, bool) {
@@ -524,58 +564,100 @@ func (b *Broker) tryLeaseLocked(req LeaseRequest) (LeaseGrant, bool) {
 			acceptBin = true
 		}
 	}
-	for _, id := range b.jobOrder {
-		j := b.jobs[id]
-		if j.target != req.Target || len(j.queue) == 0 {
-			continue
-		}
-		n := req.Capacity
-		if n > len(j.queue) {
-			n = len(j.queue)
-		}
-		indices := append([]int(nil), j.queue[:n]...)
-		j.queue = j.queue[n:]
-		b.nextID++
-		l := &lease{
-			id:       b.nextID,
-			worker:   req.Worker,
-			indices:  indices,
-			deadline: time.Now().Add(b.LeaseTTL),
-		}
-		j.leases[l.id] = l
-		grant := LeaseGrant{
-			Lease: l.id, Job: j.id, Task: j.task, Target: j.target,
-			Indices: indices,
-		}
-		switch {
-		case len(j.dagBin) == 0:
-			grant.DAG = j.dag
-		case acceptBin:
-			grant.DAGBin = j.dagBin
-		default:
-			if j.dagJSON == nil {
-				b.transcodes++
-				// Cannot fail: handleSubmit decoded this exact payload.
-				d, err := te.DecodeDAGBinary(j.dagBin)
-				if err == nil {
-					j.dagJSON, _ = te.EncodeDAG(d)
-				}
-			}
-			if j.dagJSON == nil {
-				// Unreachable guard: serve the binary anyway rather than
-				// hand out an empty DAG; the worker reports decode errors
-				// per program and the job still terminates.
-				grant.DAGBin = j.dagBin
-			} else {
-				grant.DAG = j.dagJSON
-			}
-		}
-		for _, idx := range indices {
-			grant.Programs = append(grant.Programs, j.programs[idx])
-		}
-		return grant, true
+	maxDist := req.MaxDistance
+	if maxDist > b.MaxDispatchDistance {
+		maxDist = b.MaxDispatchDistance
 	}
-	return LeaseGrant{}, false
+	if maxDist > 2 {
+		maxDist = 2 // distance 3 is CPU ↔ GPU: never dispatched
+	}
+	var j *job
+	dist := 0
+	for d := 0; d <= maxDist && j == nil; d++ {
+		for _, id := range b.jobOrder {
+			cand := b.jobs[id]
+			if len(cand.queue) == 0 || measure.TargetDistance(cand.target, req.Target) != d {
+				continue
+			}
+			j, dist = cand, d
+			break
+		}
+	}
+	if j == nil {
+		return LeaseGrant{}, false
+	}
+	n := b.leaseSizeLocked(req)
+	if n > len(j.queue) {
+		n = len(j.queue)
+	}
+	indices := append([]int(nil), j.queue[:n]...)
+	j.queue = j.queue[n:]
+	b.nextID++
+	now := b.now()
+	l := &lease{
+		id:       b.nextID,
+		worker:   req.Worker,
+		indices:  indices,
+		deadline: now.Add(b.LeaseTTL),
+		granted:  now,
+	}
+	j.leases[l.id] = l
+	if dist > 0 {
+		b.siblingLeases++
+		b.siblingPrograms += int64(len(indices))
+	}
+	grant := LeaseGrant{
+		Lease: l.id, Job: j.id, Task: j.task, Target: j.target,
+		Indices: indices,
+	}
+	switch {
+	case len(j.dagBin) == 0:
+		grant.DAG = j.dag
+	case acceptBin:
+		grant.DAGBin = j.dagBin
+	default:
+		if j.dagJSON == nil {
+			b.transcodes++
+			// Cannot fail: handleSubmit decoded this exact payload.
+			d, err := te.DecodeDAGBinary(j.dagBin)
+			if err == nil {
+				j.dagJSON, _ = te.EncodeDAG(d)
+			}
+		}
+		if j.dagJSON == nil {
+			// Unreachable guard: serve the binary anyway rather than
+			// hand out an empty DAG; the worker reports decode errors
+			// per program and the job still terminates.
+			grant.DAGBin = j.dagBin
+		} else {
+			grant.DAG = j.dagJSON
+		}
+	}
+	for _, idx := range indices {
+		grant.Programs = append(grant.Programs, j.programs[idx])
+	}
+	return grant, true
+}
+
+// leaseSizeLocked resolves how many programs one lease may carry: the
+// worker's requested capacity, or — with a LeaseTarget and an observed
+// rate — enough programs to keep the worker busy for about LeaseTarget,
+// clamped to [1, 4 × capacity] so a cold estimate can neither starve a
+// worker nor let one board monopolize the queue. Callers hold b.mu.
+func (b *Broker) leaseSizeLocked(req LeaseRequest) int {
+	n := req.Capacity
+	ws := b.workers[req.Worker]
+	if b.LeaseTarget > 0 && ws != nil && ws.ewma > 0 {
+		want := int(math.Ceil(ws.ewma * b.LeaseTarget.Seconds()))
+		if max := 4 * req.Capacity; want > max {
+			want = max
+		}
+		if want < 1 {
+			want = 1
+		}
+		n = want
+	}
+	return n
 }
 
 func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -604,18 +686,24 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ResultAck{})
 		return
 	}
-	accepted := 0
+	// Validate every index before mutating anything: a malformed post
+	// must be rejected whole, never half-applied (results accepted, the
+	// lease still live) — the fuzz suite pins this invariant.
 	for _, wr := range post.Results {
 		if wr.Index < 0 || wr.Index >= len(j.results) {
 			writeError(w, http.StatusBadRequest, "result index %d out of range (job %s has %d programs)",
 				wr.Index, j.id, len(j.programs))
 			return
 		}
+	}
+	accepted := 0
+	for _, wr := range post.Results {
 		if j.results[wr.Index].Done {
 			b.dups++
 			continue
 		}
-		j.results[wr.Index] = UnitResult{Done: true, Noiseless: wr.Noiseless, Err: wr.Err}
+		j.results[wr.Index] = UnitResult{Done: true, Noiseless: wr.Noiseless, Err: wr.Err,
+			MeasuredOn: wr.MeasuredOn, Clock: wr.Clock}
 		j.completed++
 		accepted++
 		// The index may have been requeued after this worker's lease
@@ -628,9 +716,24 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	l := j.leases[post.Lease]
 	delete(j.leases, post.Lease)
 	if ws := b.workers[post.Worker]; ws != nil {
 		ws.completed += int64(accepted)
+		// Fold the lease's observed throughput into the worker's rate
+		// EWMA (lease sizing under LeaseTarget). Only a live lease has a
+		// grant time to measure from; a zero or negative elapsed (fake
+		// clocks, sub-resolution batches) contributes nothing.
+		if l != nil && accepted > 0 {
+			if elapsed := b.now().Sub(l.granted).Seconds(); elapsed > 0 {
+				rate := float64(accepted) / elapsed
+				if ws.ewma <= 0 {
+					ws.ewma = rate
+				} else {
+					ws.ewma = ewmaAlpha*rate + (1-ewmaAlpha)*ws.ewma
+				}
+			}
+		}
 	}
 	if accepted > 0 {
 		// Progress (possibly completion): wake blocked job long-polls.
@@ -661,7 +764,7 @@ func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.reapLocked(time.Now())
+	b.reapLocked(b.now())
 	m := Metrics{
 		Jobs:             len(b.jobs),
 		JobsSubmitted:    b.submitted,
@@ -675,6 +778,8 @@ func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsBinaryDAG:    b.jobsBinary,
 		JobsJSONDAG:      b.jobsJSON,
 		DAGTranscodes:    b.transcodes,
+		SiblingLeases:    b.siblingLeases,
+		SiblingPrograms:  b.siblingPrograms,
 	}
 	for _, j := range b.jobs {
 		m.ProgramsQueued += len(j.queue)
@@ -688,6 +793,7 @@ func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.Workers = append(m.Workers, WorkerStatus{
 			ID: ws.id, Target: ws.target, Capacity: ws.capacity,
 			Completed: ws.completed, Failures: ws.failures, Quarantined: ws.quarantined,
+			RateEWMA: ws.ewma,
 		})
 		if ws.quarantined {
 			m.Quarantined++

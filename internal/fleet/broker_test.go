@@ -7,9 +7,36 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
+
+// fakeClock is a manually advanced time source for the broker's lease
+// clock: expiry tests advance it instead of sleeping, so they assert
+// exact reaping behavior with zero wall-clock waits and zero flake
+// surface. Only lease deadlines, reaping, and the throughput EWMA read
+// this clock; long-poll request holds stay on wall time (see Broker.now).
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
 
 // synthetic job parts: the broker is content-agnostic (it never decodes
 // DAGs or steps), so protocol tests use opaque placeholders.
@@ -156,7 +183,11 @@ func TestBrokerTargetCompatibility(t *testing.T) {
 }
 
 func TestBrokerLeaseExpiryRequeues(t *testing.T) {
-	b, cl := testBroker(t, func(b *Broker) { b.LeaseTTL = 30 * time.Millisecond })
+	clk := newFakeClock()
+	b, cl := testBroker(t, func(b *Broker) {
+		b.LeaseTTL = 30 * time.Second
+		b.now = clk.Now
+	})
 	ack, err := cl.Submit(synthJob("cpu", 3))
 	if err != nil {
 		t.Fatal(err)
@@ -166,7 +197,7 @@ func TestBrokerLeaseExpiryRequeues(t *testing.T) {
 	if err != nil || grant == nil || len(grant.Indices) != 2 {
 		t.Fatalf("zombie lease: %+v err=%v", grant, err)
 	}
-	time.Sleep(2 * b.LeaseTTL)
+	clk.Advance(2 * b.LeaseTTL)
 	// Worker B drains everything, including the requeued slice.
 	if n := drain(t, cl, "alive", "cpu", 4); n != 3 {
 		t.Fatalf("replacement worker measured %d, want all 3", n)
@@ -194,9 +225,11 @@ func TestBrokerLeaseExpiryRequeues(t *testing.T) {
 }
 
 func TestBrokerQuarantine(t *testing.T) {
+	clk := newFakeClock()
 	b, cl := testBroker(t, func(b *Broker) {
-		b.LeaseTTL = 20 * time.Millisecond
+		b.LeaseTTL = 20 * time.Second
 		b.MaxFailures = 2
+		b.now = clk.Now
 	})
 	if _, err := cl.Submit(synthJob("cpu", 4)); err != nil {
 		t.Fatal(err)
@@ -206,7 +239,7 @@ func TestBrokerQuarantine(t *testing.T) {
 		if err != nil || grant == nil {
 			t.Fatalf("flaky lease %d: %+v err=%v", i, grant, err)
 		}
-		time.Sleep(2 * b.LeaseTTL)
+		clk.Advance(2 * b.LeaseTTL)
 		// Any request reaps; use a metrics poll like a dashboard would.
 		if _, err := cl.Metrics(); err != nil {
 			t.Fatal(err)
@@ -226,7 +259,11 @@ func TestBrokerQuarantine(t *testing.T) {
 }
 
 func TestBrokerDuplicateResultsDropped(t *testing.T) {
-	b, cl := testBroker(t, func(b *Broker) { b.LeaseTTL = 20 * time.Millisecond })
+	clk := newFakeClock()
+	b, cl := testBroker(t, func(b *Broker) {
+		b.LeaseTTL = 20 * time.Second
+		b.now = clk.Now
+	})
 	ack, err := cl.Submit(synthJob("cpu", 1))
 	if err != nil {
 		t.Fatal(err)
@@ -235,7 +272,7 @@ func TestBrokerDuplicateResultsDropped(t *testing.T) {
 	if err != nil || grant == nil {
 		t.Fatal("straggler lease failed")
 	}
-	time.Sleep(2 * b.LeaseTTL)
+	clk.Advance(2 * b.LeaseTTL)
 	if n := drain(t, cl, "fast", "cpu", 1); n != 1 {
 		t.Fatalf("replacement measured %d, want 1", n)
 	}
@@ -316,5 +353,156 @@ func TestBrokerRejectsMalformedJobs(t *testing.T) {
 	if _, err := cl.PostResults(ResultPost{Worker: "w", Job: grant.Job, Lease: grant.Lease,
 		Results: []WorkerResult{{Index: 7, Noiseless: 1}}}); err == nil {
 		t.Error("out-of-range result index should be rejected")
+	}
+}
+
+// TestBrokerSiblingDispatch: an idle sibling worker (avx512 vs an avx2
+// job, distance 1) drains the queue when both sides opted in; the grant
+// names the job's target so the worker can pick the right model, and the
+// sibling counters record the transfer.
+func TestBrokerSiblingDispatch(t *testing.T) {
+	_, cl := testBroker(t, nil)
+	if _, err := cl.Submit(synthJob("intel-20c-avx2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := cl.Lease(LeaseRequest{Worker: "sib", Target: "intel-20c-avx512", Capacity: 4, MaxDistance: 1})
+	if err != nil || grant == nil {
+		t.Fatalf("sibling lease: %+v err=%v", grant, err)
+	}
+	if grant.Target != "intel-20c-avx2" {
+		t.Fatalf("grant target = %q, want the job's target so the worker can resolve its model", grant.Target)
+	}
+	post := ResultPost{Worker: "sib", Job: grant.Job, Lease: grant.Lease}
+	for _, idx := range grant.Indices {
+		post.Results = append(post.Results, WorkerResult{Index: idx, Noiseless: 1, MeasuredOn: "intel-20c-avx512"})
+	}
+	if _, err := cl.PostResults(post); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SiblingLeases != 1 || m.SiblingPrograms != 2 {
+		t.Errorf("sibling counters = %d leases / %d programs, want 1/2", m.SiblingLeases, m.SiblingPrograms)
+	}
+}
+
+// TestBrokerSiblingDispatchNativeFirst: native work always wins — a
+// worker with queued native programs never drains a sibling queue, even
+// when the sibling job is older.
+func TestBrokerSiblingDispatchNativeFirst(t *testing.T) {
+	_, cl := testBroker(t, nil)
+	if _, err := cl.Submit(synthJob("intel-20c-avx2", 1)); err != nil { // older, sibling
+		t.Fatal(err)
+	}
+	ackNative, err := cl.Submit(synthJob("intel-20c-avx512", 1)) // newer, native
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := cl.Lease(LeaseRequest{Worker: "w", Target: "intel-20c-avx512", Capacity: 4, MaxDistance: 1})
+	if err != nil || grant == nil {
+		t.Fatalf("lease: %+v err=%v", grant, err)
+	}
+	if grant.Job != ackNative.ID || grant.Target != "intel-20c-avx512" {
+		t.Fatalf("native job must win over an older sibling job: got %q target %q", grant.Job, grant.Target)
+	}
+}
+
+// TestBrokerSiblingDispatchOptOut: either side saying 0 restores exact-
+// match sharding, and CPU <-> GPU (distance 3) never dispatches no
+// matter how permissive both sides are.
+func TestBrokerSiblingDispatchOptOut(t *testing.T) {
+	for name, mutate := range map[string]func(*Broker){
+		"worker opts out": nil,
+		"broker opts out": func(b *Broker) { b.MaxDispatchDistance = 0 },
+	} {
+		_, cl := testBroker(t, mutate)
+		if _, err := cl.Submit(synthJob("intel-20c-avx2", 1)); err != nil {
+			t.Fatal(err)
+		}
+		req := LeaseRequest{Worker: "sib", Target: "intel-20c-avx512", Capacity: 1, MaxDistance: 1}
+		if mutate == nil {
+			req.MaxDistance = 0
+		}
+		if grant, err := cl.Lease(req); err != nil || grant != nil {
+			t.Errorf("%s: lease = %+v err=%v, want none", name, grant, err)
+		}
+	}
+	// Distance 3 is uncrossable even with absurd bounds on both sides.
+	_, cl := testBroker(t, func(b *Broker) { b.MaxDispatchDistance = 99 })
+	if _, err := cl.Submit(synthJob("intel-20c-avx2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if grant, err := cl.Lease(LeaseRequest{Worker: "gpu", Target: "nvidia-v100", Capacity: 1, MaxDistance: 99}); err != nil || grant != nil {
+		t.Errorf("CPU<->GPU lease = %+v err=%v, want never", grant, err)
+	}
+}
+
+// TestBrokerEWMALeaseSizing: with a LeaseTarget the broker sizes leases
+// from the worker's observed programs/sec EWMA — a worker that proved it
+// does 2 programs/sec gets ceil(2 x target) next time — clamped to 4x
+// the requested capacity so one board cannot monopolize the queue.
+func TestBrokerEWMALeaseSizing(t *testing.T) {
+	clk := newFakeClock()
+	b, cl := testBroker(t, func(b *Broker) {
+		b.LeaseTarget = 3 * time.Second
+		b.now = clk.Now
+	})
+	if _, err := cl.Submit(synthJob("cpu", 40)); err != nil {
+		t.Fatal(err)
+	}
+	// Cold worker: no EWMA yet, the lease carries exactly its capacity.
+	grant, err := cl.Lease(LeaseRequest{Worker: "w", Target: "cpu", Capacity: 2})
+	if err != nil || grant == nil || len(grant.Indices) != 2 {
+		t.Fatalf("cold lease: %+v err=%v", grant, err)
+	}
+	// The worker finishes 2 programs in 1s: rate 2/s, EWMA seeds to 2.
+	clk.Advance(time.Second)
+	post := ResultPost{Worker: "w", Job: grant.Job, Lease: grant.Lease,
+		Results: []WorkerResult{{Index: 0, Noiseless: 1}, {Index: 1, Noiseless: 1}}}
+	if _, err := cl.PostResults(post); err != nil {
+		t.Fatal(err)
+	}
+	// Warm worker: 2/s x 3s target = 6 programs.
+	grant, err = cl.Lease(LeaseRequest{Worker: "w", Target: "cpu", Capacity: 2})
+	if err != nil || grant == nil {
+		t.Fatal("warm lease failed")
+	}
+	if len(grant.Indices) != 6 {
+		t.Fatalf("warm lease size = %d, want ceil(2/s x 3s) = 6", len(grant.Indices))
+	}
+	// The clamp: a rate implying more than 4x capacity is capped.
+	clk.Advance(100 * time.Millisecond) // 6 programs in 0.1s -> rate 60/s
+	post = ResultPost{Worker: "w", Job: grant.Job, Lease: grant.Lease}
+	for _, idx := range grant.Indices {
+		post.Results = append(post.Results, WorkerResult{Index: idx, Noiseless: 1})
+	}
+	if _, err := cl.PostResults(post); err != nil {
+		t.Fatal(err)
+	}
+	grant, err = cl.Lease(LeaseRequest{Worker: "w", Target: "cpu", Capacity: 2})
+	if err != nil || grant == nil {
+		t.Fatal("clamped lease failed")
+	}
+	if len(grant.Indices) != 8 {
+		t.Fatalf("clamped lease size = %d, want 4 x capacity = 8", len(grant.Indices))
+	}
+	// The observed rate is visible on the dashboard.
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workers) != 1 || m.Workers[0].RateEWMA <= 0 {
+		t.Errorf("worker rate EWMA missing from metrics: %+v", m.Workers)
+	}
+	// With LeaseTarget off (the default), sizing is plain capacity even
+	// for a worker with history.
+	b.mu.Lock()
+	b.LeaseTarget = 0
+	n := b.leaseSizeLocked(LeaseRequest{Worker: "w", Capacity: 2})
+	b.mu.Unlock()
+	if n != 2 {
+		t.Errorf("LeaseTarget=0 lease size = %d, want the requested capacity 2", n)
 	}
 }

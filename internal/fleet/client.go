@@ -241,6 +241,16 @@ type RemoteMeasurer struct {
 	// chunking is invisible in the output — the determinism contract
 	// does not care how a batch was sliced into jobs.
 	ChunkPrograms int
+	// Calibration, when set, scales foreign-clock sibling results (a
+	// worker that could not emulate this target's machine model and
+	// reported its own clock, UnitResult.Clock) onto the native clock.
+	// Typically the fleet-pooled calibration from the registry server's
+	// /v1/calibration. Calibrated or not, foreign-clock times are marked
+	// TrainOnly with the cross-target warm-start discount — they inform
+	// the cost model but never the best-k pool, the tuning history, or
+	// the record log, so the bit-identity contract covers sibling
+	// dispatch too.
+	Calibration *measure.Calibration
 
 	cl       *Client
 	target   string
@@ -365,6 +375,12 @@ func (rm *RemoteMeasurer) MeasureTask(task string, states []*ir.State) []measure
 	if rm.Recorder != nil {
 		for _, r := range out {
 			if r.Cached || r.Err != nil || r.Seconds <= 0 {
+				continue
+			}
+			// Foreign-clock (train-only) results never enter the record
+			// log: a calibrated estimate filed as a measured native time
+			// would poison the resume cache and the registry.
+			if r.TrainOnly {
 				continue
 			}
 			rec, err := measure.NewRecord(task, rm.target, r)
@@ -505,6 +521,30 @@ func (rm *RemoteMeasurer) runChunk(task string, dag []byte, binary bool, indices
 		}
 		if ur.Noiseless <= 0 {
 			out[i].Err = fmt.Errorf("fleet: worker returned non-positive time %g", ur.Noiseless)
+			continue
+		}
+		out[i].MeasuredOn = ur.MeasuredOn
+		if ur.Clock != "" && ur.Clock != rm.target {
+			// Foreign-clock sibling measurement: the worker could not
+			// emulate this target's model and timed the program on its
+			// own. Calibrate onto the native clock when a scale exists,
+			// discount like a cross-target warm-start record otherwise,
+			// and mark it training-only either way — a time from another
+			// machine's clock must never claim a measured best here.
+			w := measure.WeightSibling
+			if measure.TargetDistance(rm.target, ur.Clock) >= 2 {
+				w = measure.WeightSameClass
+			}
+			sec := ur.Noiseless
+			if scale, ok := rm.Calibration.Scale(ur.Clock); ok {
+				sec *= scale
+			} else {
+				w *= measure.UncalibratedFactor
+			}
+			out[i].NoiselessSeconds = sec
+			out[i].Seconds = sec
+			out[i].TrainOnly = true
+			out[i].TrainWeight = w
 			continue
 		}
 		out[i].NoiselessSeconds = ur.Noiseless

@@ -12,9 +12,14 @@
 //     holding submitted jobs. A job is one measurement batch: a target
 //     name, a wire-encoded computation DAG, and one encoded step list
 //     per program. The broker leases batch slices to compatible workers
-//     (exact target-name match), requeues slices whose lease expired
-//     (straggler/crash recovery), quarantines workers that keep failing,
-//     and reassembles results by submission index.
+//     — exact target-name match first, then (near-sibling dispatch) to
+//     idle workers within measure.TargetDistance of the job's target,
+//     bounded by both sides' max-dispatch-distance — requeues slices
+//     whose lease expired (straggler/crash recovery), quarantines
+//     workers that keep failing, and reassembles results by submission
+//     index. With a LeaseTarget set it sizes each lease from the
+//     worker's observed programs/sec EWMA, so fast boards drain more of
+//     the queue per round trip.
 //
 //   - Worker (cmd/ansor-worker) — hosts a sim.Machine, polls the broker
 //     for leases, replays + lowers + times each leased program, and
@@ -93,6 +98,15 @@ type LeaseRequest struct {
 	// immediately, so workers guard against fast empty answers before
 	// re-polling.
 	WaitMS int64 `json:"wait_ms,omitempty"`
+	// MaxDistance is the largest warm.TargetDistance job this worker
+	// will take when its native queue is empty (near-sibling dispatch):
+	// 0 = exact match only (the legacy behavior and the zero value old
+	// workers imply by omitting the field), 1 = same core family with a
+	// different vector ISA (avx2 ↔ avx512), 2 = same hardware class.
+	// The broker also enforces its own -max-dispatch-distance cap; the
+	// effective bound is the smaller of the two. CPU ↔ GPU (distance 3)
+	// is never dispatched.
+	MaxDistance int `json:"max_distance,omitempty"`
 }
 
 // LeaseGrant hands a worker a slice of one job's batch. A grant expires
@@ -123,6 +137,17 @@ type WorkerResult struct {
 	// program's fault, not the worker's — it does not count toward
 	// quarantine).
 	Err string `json:"err,omitempty"`
+	// MeasuredOn names the machine model the reporting worker hosts when
+	// it differs from the job's target (near-sibling dispatch); empty for
+	// the common exact-match case. Provenance only: when the worker could
+	// emulate the job target's analytic model the time is still the
+	// target's own.
+	MeasuredOn string `json:"measured_on,omitempty"`
+	// Clock, when non-empty, says Noiseless was timed on this machine's
+	// clock instead of the job target's (the worker could not resolve the
+	// target's model): the client must calibrate the time onto the native
+	// clock and may use it for cost-model training only.
+	Clock string `json:"clock,omitempty"`
 }
 
 // ResultPost returns a lease's results (POST /v1/results).
@@ -141,11 +166,15 @@ type ResultAck struct {
 	Accepted int `json:"accepted"`
 }
 
-// UnitResult is one program's outcome in a job status.
+// UnitResult is one program's outcome in a job status. MeasuredOn and
+// Clock carry the worker's sibling-dispatch tags through unchanged (see
+// WorkerResult).
 type UnitResult struct {
-	Done      bool    `json:"done"`
-	Noiseless float64 `json:"noiseless,omitempty"`
-	Err       string  `json:"err,omitempty"`
+	Done       bool    `json:"done"`
+	Noiseless  float64 `json:"noiseless,omitempty"`
+	Err        string  `json:"err,omitempty"`
+	MeasuredOn string  `json:"measured_on,omitempty"`
+	Clock      string  `json:"clock,omitempty"`
 }
 
 // JobStatus answers a job poll (GET /v1/jobs/{id}). Results are indexed
@@ -170,6 +199,11 @@ type WorkerStatus struct {
 	Completed   int64  `json:"completed"`
 	Failures    int    `json:"failures"`
 	Quarantined bool   `json:"quarantined"`
+	// RateEWMA is the broker's throughput estimate for this worker in
+	// programs/second (an exponentially weighted moving average over its
+	// completed leases); 0 until the first lease completes. With a
+	// LeaseTarget set, lease sizes are RateEWMA × LeaseTarget.
+	RateEWMA float64 `json:"rate_ewma,omitempty"`
 }
 
 // Metrics is the broker's /metrics payload.
@@ -208,4 +242,10 @@ type Metrics struct {
 	JobsBinaryDAG int64 `json:"jobs_binary_dag"`
 	JobsJSONDAG   int64 `json:"jobs_json_dag"`
 	DAGTranscodes int64 `json:"dag_transcodes"`
+	// SiblingLeases / SiblingPrograms count near-sibling dispatch: leases
+	// granted to a worker whose target differs from the job's (and the
+	// programs they carried). Zero on a fleet where every target has its
+	// own workers keeping up.
+	SiblingLeases   int64 `json:"sibling_leases"`
+	SiblingPrograms int64 `json:"sibling_programs"`
 }

@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The fuzz suite hammers the broker's two worker-facing decoders —
+// POST /v1/lease and POST /v1/results — with arbitrary bodies. Three
+// invariants are pinned for every input:
+//
+//  1. no panic (the handler survives anything on the wire);
+//  2. the response is a sane protocol answer (200/204/400), never a 500
+//     or a hang;
+//  3. a rejected results post mutates NOTHING: results are validated
+//     whole before the first write, so a malformed body can never leave
+//     a job half-applied (some results accepted, the lease still live).
+//
+// Seed corpora live in testdata/fuzz/ and run on every plain `go test`;
+// `go test -fuzz=FuzzLeaseDecode ./internal/fleet/` explores further.
+
+// fuzzPost drives one POST through the broker's full handler stack with
+// a short context deadline, so fuzz inputs that request a long poll
+// (wait_ms) cannot stall the run.
+func fuzzPost(h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// fuzzBroker builds a broker holding one 3-program job with one live
+// 2-program lease for worker "w" — the state a malformed post could
+// corrupt.
+func fuzzBroker(t testing.TB) (b *Broker, h http.Handler, jobID string, leaseID int64) {
+	t.Helper()
+	b = NewBroker()
+	h = b.Handler()
+	body, _ := json.Marshal(synthJob("cpu", 3))
+	rec := fuzzPost(h, "/v1/jobs", body)
+	var ack JobAck
+	if err := json.Unmarshal(rec.Body.Bytes(), &ack); err != nil || ack.ID == "" {
+		t.Fatalf("seed job: %s", rec.Body.Bytes())
+	}
+	lb, _ := json.Marshal(LeaseRequest{Worker: "w", Target: "cpu", Capacity: 2})
+	rec = fuzzPost(h, "/v1/lease", lb)
+	var grant LeaseGrant
+	if err := json.Unmarshal(rec.Body.Bytes(), &grant); err != nil || grant.Lease == 0 {
+		t.Fatalf("seed lease: %s", rec.Body.Bytes())
+	}
+	return b, h, ack.ID, grant.Lease
+}
+
+// jobSnap captures everything a results post may mutate.
+type jobSnap struct {
+	completed int
+	queue     []int
+	done      []bool
+	leases    int
+}
+
+func snapJob(b *Broker, id string) jobSnap {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	j := b.jobs[id]
+	s := jobSnap{completed: j.completed, queue: append([]int(nil), j.queue...), leases: len(j.leases)}
+	for _, r := range j.results {
+		s.done = append(s.done, r.Done)
+	}
+	return s
+}
+
+func FuzzLeaseDecode(f *testing.F) {
+	f.Add([]byte(`{"worker":"w","target":"cpu","capacity":2}`))
+	f.Add([]byte(`{"worker":"w","target":"cpu","capacity":2,"max_distance":1,"accept":["dag-bin-v1"]}`))
+	f.Add([]byte(`{"worker":"w","target":"nowhere","capacity":1,"wait_ms":99999999}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"worker":`))
+	f.Add([]byte(`{"worker":1,"target":true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"worker":"w","target":"cpu","capacity":-5,"max_distance":-3}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, h, _, _ := fuzzBroker(t)
+		rec := fuzzPost(h, "/v1/lease", data)
+		switch rec.Code {
+		case http.StatusOK:
+			// A grant must decode and carry matched indices/programs.
+			var g LeaseGrant
+			if err := json.Unmarshal(rec.Body.Bytes(), &g); err != nil {
+				t.Fatalf("200 with undecodable grant: %v: %s", err, rec.Body.Bytes())
+			}
+			if len(g.Indices) != len(g.Programs) {
+				t.Fatalf("grant with %d indices but %d programs", len(g.Indices), len(g.Programs))
+			}
+		case http.StatusNoContent, http.StatusBadRequest:
+			// No work for the decoded target, or a rejected body: fine.
+		default:
+			t.Fatalf("lease answered %d (body %q input %q), want 200/204/400", rec.Code, rec.Body.Bytes(), data)
+		}
+	})
+}
+
+func FuzzResultsDecode(f *testing.F) {
+	f.Add([]byte(`{"worker":"w","job":"job-1","lease":1,"results":[{"index":0,"noiseless":1}]}`))
+	f.Add([]byte(`{"worker":"w","job":"job-1","lease":1,"results":[{"index":0,"noiseless":1},{"index":7}]}`))
+	f.Add([]byte(`{"worker":"w","job":"job-1","lease":1,"results":[{"index":-1}]}`))
+	f.Add([]byte(`{"worker":"w","job":"nope","lease":1,"results":[{"index":0}]}`))
+	f.Add([]byte(`{"worker":"w","job":"job-1","lease":1,"results":[{"index":0,"measured_on":"intel-20c-avx512","clock":"intel-20c-avx512"}]}`))
+	f.Add([]byte(`{"results":`))
+	f.Add([]byte(`{"results":[{"index":"zero"}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, h, jobID, _ := fuzzBroker(t)
+		before := snapJob(b, jobID)
+		rec := fuzzPost(h, "/v1/results", data)
+		switch rec.Code {
+		case http.StatusOK:
+			var ack ResultAck
+			if err := json.Unmarshal(rec.Body.Bytes(), &ack); err != nil {
+				t.Fatalf("200 with undecodable ack: %v: %s", err, rec.Body.Bytes())
+			}
+		case http.StatusBadRequest:
+			// The invariant the pre-validation pass exists for: a rejected
+			// post leaves the job EXACTLY as it was — no results marked
+			// done, nothing pulled from the queue, the lease still live.
+			after := snapJob(b, jobID)
+			if !reflect.DeepEqual(before, after) {
+				t.Fatalf("rejected post mutated job state:\nbefore %+v\nafter  %+v\ninput  %q", before, after, data)
+			}
+		default:
+			t.Fatalf("results answered %d (body %q input %q), want 200/400", rec.Code, rec.Body.Bytes(), data)
+		}
+	})
+}

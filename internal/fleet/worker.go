@@ -39,6 +39,16 @@ type Worker struct {
 	// both te.WireBinary and te.WireJSON). Tests pin it to JSON only to
 	// exercise the broker's legacy transcoding path.
 	Accept []string
+	// MaxDistance is the largest measure.TargetDistance job this worker
+	// volunteers for when its native target has no queued work
+	// (near-sibling dispatch): 0 = exact match only, 1 (NewWorker's
+	// default) = same core family with a different vector ISA. The
+	// broker caps it with its own -max-dispatch-distance. A sibling job
+	// is timed on the job target's own analytic model when sim.ByName
+	// resolves it — the result is the target's exact time, just computed
+	// on another box — and on this worker's machine otherwise, tagged
+	// with Clock so the client calibrates it and keeps it training-only.
+	MaxDistance int
 
 	cl *Client
 }
@@ -53,6 +63,7 @@ func NewWorker(brokerURL, id string, m *sim.Machine, capacity int) *Worker {
 		Machine:      m,
 		Capacity:     capacity,
 		PollInterval: 25 * time.Millisecond,
+		MaxDistance:  1,
 		cl:           NewClient(brokerURL),
 	}
 }
@@ -70,7 +81,8 @@ func (w *Worker) RunOnce() (bool, error) {
 }
 
 func (w *Worker) runOnce(ctx context.Context) (bool, error) {
-	req := LeaseRequest{Worker: w.ID, Target: w.Machine.Name, Capacity: w.Capacity, Accept: w.accept()}
+	req := LeaseRequest{Worker: w.ID, Target: w.Machine.Name, Capacity: w.Capacity,
+		Accept: w.accept(), MaxDistance: w.MaxDistance}
 	if wait := w.leaseWait(); wait > 0 {
 		req.WaitMS = wait.Milliseconds()
 	}
@@ -80,6 +92,23 @@ func (w *Worker) runOnce(ctx context.Context) (bool, error) {
 	}
 	if grant == nil {
 		return false, nil
+	}
+	// Near-sibling dispatch: a grant for another target is timed on that
+	// target's own analytic model when it resolves — machine models are
+	// portable code, so the time is bit-identical to what the target's
+	// native worker would report, tagged measured_on for provenance.
+	// An unresolvable target (a machine this build does not know) is
+	// timed on the hosted model instead and tagged with Clock: the
+	// client must calibrate such times and keep them training-only.
+	m := w.Machine
+	measuredOn, clock := "", ""
+	if grant.Target != "" && grant.Target != w.Machine.Name {
+		measuredOn = w.Machine.Name
+		if sib, ok := sim.ByName(grant.Target); ok {
+			m = sib
+		} else {
+			clock = w.Machine.Name
+		}
 	}
 	post := ResultPost{Worker: w.ID, Job: grant.Job, Lease: grant.Lease}
 	payload := []byte(grant.DAG)
@@ -97,7 +126,10 @@ func (w *Worker) runOnce(ctx context.Context) (bool, error) {
 		}
 	} else {
 		for k, idx := range grant.Indices {
-			post.Results = append(post.Results, w.measureOne(dag, idx, grant.Programs[k]))
+			wr := w.measureOne(m, dag, idx, grant.Programs[k])
+			wr.MeasuredOn = measuredOn
+			wr.Clock = clock
+			post.Results = append(post.Results, wr)
 		}
 	}
 	if _, err := w.cl.PostResults(post); err != nil {
@@ -106,11 +138,12 @@ func (w *Worker) runOnce(ctx context.Context) (bool, error) {
 	return true, nil
 }
 
-// measureOne replays, lowers and times one program on the hosted
-// machine model. The returned time is the model's exact (noiseless)
-// time: noise is derived by the submitting client from its tuning seed,
-// never rolled on a worker (the package determinism contract).
-func (w *Worker) measureOne(dag *te.DAG, index int, encSteps []byte) WorkerResult {
+// measureOne replays, lowers and times one program on m (the hosted
+// machine model, or a sibling job target's model under near-sibling
+// dispatch). The returned time is the model's exact (noiseless) time:
+// noise is derived by the submitting client from its tuning seed, never
+// rolled on a worker (the package determinism contract).
+func (w *Worker) measureOne(m *sim.Machine, dag *te.DAG, index int, encSteps []byte) WorkerResult {
 	steps, err := ir.DecodeSteps(encSteps)
 	if err != nil {
 		return WorkerResult{Index: index, Err: fmt.Sprintf("decode steps: %v", err)}
@@ -123,7 +156,7 @@ func (w *Worker) measureOne(dag *te.DAG, index int, encSteps []byte) WorkerResul
 	if err != nil {
 		return WorkerResult{Index: index, Err: fmt.Sprintf("lower: %v", err)}
 	}
-	return WorkerResult{Index: index, Noiseless: w.Machine.Time(low)}
+	return WorkerResult{Index: index, Noiseless: m.Time(low)}
 }
 
 // accept returns the advertised DAG formats (default: both codecs).
@@ -203,7 +236,7 @@ func (w *Worker) Run(ctx context.Context) error {
 // Exposed for tests asserting worker/measurer equivalence directly.
 func NoiselessTime(m *sim.Machine, dag *te.DAG, encSteps []byte) (float64, error) {
 	w := Worker{Machine: m}
-	r := w.measureOne(dag, 0, encSteps)
+	r := w.measureOne(m, dag, 0, encSteps)
 	if r.Err != "" {
 		return 0, errors.New(r.Err)
 	}

@@ -30,6 +30,20 @@ type Result struct {
 	Cached bool
 	Err    error
 
+	// MeasuredOn names the machine that physically timed the program
+	// when it differs from the requested target (near-sibling fleet
+	// dispatch); empty means the target itself measured it.
+	MeasuredOn string
+	// TrainOnly marks a time that lives on a foreign clock even after
+	// calibration: it may train the cost model but must never enter the
+	// best-k pool or claim a measured best (the cross-target warm-start
+	// rule, applied to live fleet results).
+	TrainOnly bool
+	// TrainWeight scales the result's contribution to cost-model
+	// training; 0 means the default weight 1. Sibling-measured results
+	// carry the warm-start discount schedule.
+	TrainWeight float64
+
 	// encSteps carries the canonical step encoding computed during the
 	// cache lookup so NewRecord does not re-encode it.
 	encSteps []byte

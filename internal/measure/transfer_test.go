@@ -1,0 +1,54 @@
+package measure
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRecordMeasuredOnRoundTrip: the measured_on provenance tag survives
+// the wire, and records without it serialize exactly as they did before
+// the field existed (omitempty keeps old logs and golden files valid).
+func TestRecordMeasuredOnRoundTrip(t *testing.T) {
+	r := Record{
+		Task: "mm", Target: "intel-20c-avx2", DAG: "d1",
+		Steps: json.RawMessage(`[]`), Seconds: 1.5, Noiseless: 1.5,
+		MeasuredOn: "intel-20c-avx512",
+	}
+	enc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MeasuredOn != r.MeasuredOn {
+		t.Fatalf("measured_on round-trip: %q vs %q", back.MeasuredOn, r.MeasuredOn)
+	}
+
+	r.MeasuredOn = ""
+	enc, err = json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), "measured_on") {
+		t.Fatalf("unset measured_on must be omitted from the wire: %s", enc)
+	}
+}
+
+// TestCalibrationNilSafety: a nil calibration is the documented "no
+// calibration" value — Scale misses and Merge no-ops, so callers thread
+// an optional calibration without nil checks.
+func TestCalibrationNilSafety(t *testing.T) {
+	var c *Calibration
+	if s, ok := c.Scale("anything"); ok || s != 0 {
+		t.Fatalf("nil Scale = %v, %v", s, ok)
+	}
+	c.Merge(&Calibration{Target: "t"}) // must not panic
+	full := &Calibration{Target: "t", Scales: map[string]float64{"a": 2}}
+	full.Merge(nil) // must not panic
+	if s, _ := full.Scale("a"); s != 2 {
+		t.Fatalf("merge(nil) corrupted scales: %v", s)
+	}
+}

@@ -310,25 +310,30 @@ func (p *Policy) update(results []measure.Result) {
 		if !ok {
 			continue
 		}
-		p.absorb(r.State, e.Feats, r.Seconds)
+		// Sibling-measured fleet results (near-sibling dispatch) arrive
+		// calibrated but on a foreign clock: they train the model at the
+		// cross-target discount and never enter the best pool, exactly
+		// like transferred warm-start records.
+		w := r.TrainWeight
+		if w <= 0 {
+			w = 1
+		}
+		p.absorbWeighted(r.State, e.Feats, r.Seconds, w, r.TrainOnly)
 	}
 	p.rebuildBestPool()
 	p.retrain()
 	p.History = append(p.History, HistoryPoint{Trials: p.Trials, BestTime: p.BestTime})
 }
 
-// absorb folds one measured program into the accumulated training data
-// and best tracking (pool rebuild and retraining are the caller's job).
-func (p *Policy) absorb(s *ir.State, feats [][]float64, seconds float64) {
-	p.absorbWeighted(s, feats, seconds, 1, false)
-}
-
-// absorbWeighted is absorb with a training weight and an optional
-// train-only restriction. A train-only program feeds the cost model but
-// never enters the best-k pool, the best time, or the measured set —
-// transferred cross-target records must inform the model without
-// claiming a measured best on this target, and must stay measurable if
-// the search picks them natively.
+// absorbWeighted folds one measured program into the accumulated
+// training data and best tracking (pool rebuild and retraining are the
+// caller's job), with a training weight and an optional train-only
+// restriction. A train-only program feeds the cost model but never
+// enters the best-k pool, the best time, or the measured set —
+// transferred cross-target records (and live sibling-measured fleet
+// results) must inform the model without claiming a measured best on
+// this target, and must stay measurable if the search picks them
+// natively.
 func (p *Policy) absorbWeighted(s *ir.State, feats [][]float64, seconds, weight float64, trainOnly bool) {
 	p.progFeats = append(p.progFeats, feats)
 	p.progTimes = append(p.progTimes, seconds)

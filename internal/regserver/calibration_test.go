@@ -1,0 +1,137 @@
+package regserver
+
+import (
+	"math"
+	"net/http"
+	"testing"
+)
+
+// TestRegServerCalibration: /v1/calibration serves the fleet-pooled
+// cross-target time calibration fit over the registry's CURRENT records
+// — publishes shift the answer with no restart (that is what "online"
+// means here) — with version ETags so consumers revalidate for free.
+func TestRegServerCalibration(t *testing.T) {
+	const native, sib = "intel-20c-avx512", "intel-20c-avx2"
+	_, cl := newTestServer(t)
+	// Two workloads measured on both targets at an exact 2x ratio.
+	for _, r := range []struct {
+		task, target, dag string
+		sec               float64
+	}{
+		{"a", native, "d1", 1.0}, {"a", sib, "d1", 2.0},
+		{"b", native, "d2", 3.0}, {"b", sib, "d2", 6.0},
+	} {
+		if _, err := cl.Add(rec(r.task, r.target, r.dag, r.sec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cal, err := cl.Calibration(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Target != native {
+		t.Fatalf("calibration target = %q, want %q", cal.Target, native)
+	}
+	s, ok := cal.Scale(sib)
+	if !ok || math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("pooled scale = %v (ok=%v), want 0.5", s, ok)
+	}
+	if cal.Pairs[sib] != 2 {
+		t.Fatalf("pairs = %d, want 2", cal.Pairs[sib])
+	}
+
+	// Online update: a freshly published overlap pair at a different
+	// ratio moves the fit on the very next query.
+	if _, err := cl.Add(rec("c", native, "d3", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Add(rec("c", sib, "d3", 100.0)); err != nil {
+		t.Fatal(err)
+	}
+	cal2, err := cl.Calibration(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2, _ := cal2.Scale(sib); s2 == s {
+		t.Errorf("scale unchanged (%v) after publishing a new overlap pair: calibration must track the live registry", s2)
+	}
+	if cal2.Pairs[sib] != 3 {
+		t.Errorf("pairs = %d after third overlap, want 3", cal2.Pairs[sib])
+	}
+
+	// A target nobody overlaps with answers an empty calibration, not an
+	// error — the client just falls back to the uncalibrated discount.
+	empty, err := cl.Calibration("arm-cortex-a53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Scales) != 0 {
+		t.Errorf("unknown target scales = %v, want none", empty.Scales)
+	}
+}
+
+func TestRegServerCalibrationHTTP(t *testing.T) {
+	const native, sib = "intel-20c-avx512", "intel-20c-avx2"
+	_, cl := newTestServer(t)
+	if _, err := cl.Add(rec("a", native, "d1", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Add(rec("a", sib, "d1", 2.0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The target parameter is mandatory.
+	resp, err := http.Get(cl.base + "/v1/calibration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing target answered %d, want 400", resp.StatusCode)
+	}
+	// GET-only, like every query endpoint.
+	resp, err = http.Post(cl.base+"/v1/calibration?target="+native, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST answered %d, want 405", resp.StatusCode)
+	}
+
+	// Conditional GET: same registry version revalidates as 304; a
+	// publish invalidates the validator.
+	resp, err = http.Get(cl.base + "/v1/calibration?target=" + native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("calibration response carries no ETag")
+	}
+	req, _ := http.NewRequest(http.MethodGet, cl.base+"/v1/calibration?target="+native, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation answered %d, want 304", resp.StatusCode)
+	}
+	if _, err := cl.Add(rec("b", native, "d2", 3.0)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-publish revalidation answered %d, want a fresh 200", resp.StatusCode)
+	}
+	if fresh := resp.Header.Get("ETag"); fresh == "" || fresh == etag {
+		t.Errorf("publish did not rotate the ETag: %q vs %q", fresh, etag)
+	}
+}

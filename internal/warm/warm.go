@@ -206,114 +206,36 @@ func (m multiSource) Fetch(workload string) (*measure.Log, error) {
 	return out, nil
 }
 
-// Target-distance weight schedule: full weight natively, halved for a
+// Target-distance weight schedule, aliased from measure (the shared
+// home of cross-target transfer math — the fleet broker and registry
+// server use the same primitives): full weight natively, halved for a
 // sibling vector ISA of the same core, quartered across vendors within
 // a hardware class. An uncalibrated transfer (no overlapping pairs to
 // fit a time scale from) is halved once more — its times are raw
 // foreign-clock readings.
 const (
-	weightSibling      = 0.5
-	weightSameClass    = 0.25
-	uncalibratedFactor = 0.5
+	weightSibling      = measure.WeightSibling
+	weightSameClass    = measure.WeightSameClass
+	uncalibratedFactor = measure.UncalibratedFactor
 )
 
 // TargetDistance classifies how transferable tuning records are between
-// two machine-model names:
-//
-//	0 — same target: records replay natively.
-//	1 — same core, different vector ISA (intel-20c-avx2 ↔ avx512).
-//	2 — same hardware class (both CPUs): structure transfers, times
-//	    need calibration.
-//	3 — different class (CPU ↔ GPU): no transfer; the search spaces
-//	    differ structurally (§4's sketch rules are per-class).
+// two machine-model names: 0 same target, 1 same core family with a
+// different vector ISA, 2 same hardware class, 3 different class
+// (CPU ↔ GPU — never transfers). It is measure.TargetDistance, kept
+// here for the warm-start callers that grew up with it.
 func TargetDistance(a, b string) int {
-	if a == b {
-		return 0
-	}
-	if isGPU(a) != isGPU(b) {
-		return 3
-	}
-	if family(a) == family(b) {
-		return 1
-	}
-	return 2
-}
-
-// isGPU classifies a machine-model name (sim names GPUs by vendor).
-func isGPU(name string) bool {
-	return strings.HasPrefix(name, "nvidia") || strings.Contains(name, "gpu")
-}
-
-// family strips the trailing variant component: intel-20c-avx2 and
-// intel-20c-avx512 are both family intel-20c.
-func family(name string) string {
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		return name[:i]
-	}
-	return name
+	return measure.TargetDistance(a, b)
 }
 
 // Calibration holds per-sibling-target linear time scales into the
-// native target's clock.
-type Calibration struct {
-	target string
-	scale  map[string]float64 // sibling target -> multiplier
-}
+// native target's clock (measure.Calibration).
+type Calibration = measure.Calibration
 
-// Scale returns the fitted multiplier for a sibling target and whether
-// one could be fit.
-func (c *Calibration) Scale(sibling string) (float64, bool) {
-	s, ok := c.scale[sibling]
-	return s, ok
-}
-
-// FitCalibration fits, for every non-native target in refs, the
-// least-squares through-origin linear map from that target's times to
-// the native target's, using the best times of (workload, dag) pairs
-// both targets have measured. A single throughput ratio per target pair
-// is the coarsest useful model — and the only one a handful of overlap
-// pairs can support; it is also exactly what "machine A runs this class
-// of programs k× faster" means. Records with no native overlap partner
-// contribute nothing; targets with no overlap at all get no scale (the
-// caller discounts them instead).
+// FitCalibration fits per-target-pair time scales from overlapping
+// (workload, dag) pairs; see measure.FitCalibration.
 func FitCalibration(refs []measure.Record, target string) *Calibration {
-	type pairKey struct{ task, dag string }
-	nativeBest := map[pairKey]float64{}
-	sibBest := map[string]map[pairKey]float64{}
-	for _, rec := range refs {
-		if rec.Seconds <= 0 || rec.Task == "" {
-			continue
-		}
-		k := pairKey{rec.Task, rec.DAG}
-		if rec.Target == target {
-			if cur, ok := nativeBest[k]; !ok || rec.Seconds < cur {
-				nativeBest[k] = rec.Seconds
-			}
-			continue
-		}
-		m := sibBest[rec.Target]
-		if m == nil {
-			m = map[pairKey]float64{}
-			sibBest[rec.Target] = m
-		}
-		if cur, ok := m[k]; !ok || rec.Seconds < cur {
-			m[k] = rec.Seconds
-		}
-	}
-	cal := &Calibration{target: target, scale: map[string]float64{}}
-	for sib, m := range sibBest {
-		var sxx, sxy float64
-		for k, x := range m {
-			if y, ok := nativeBest[k]; ok {
-				sxx += x * x
-				sxy += x * y
-			}
-		}
-		if sxx > 0 && sxy > 0 {
-			cal.scale[sib] = sxy / sxx
-		}
-	}
-	return cal
+	return measure.FitCalibration(refs, target)
 }
 
 // Records fetches and prepares one task's warm-start records: the
@@ -326,16 +248,30 @@ func FitCalibration(refs []measure.Record, target string) *Calibration {
 // prepares identically — warm-from-file and warm-from-server over the
 // same records stay bit-identical downstream.
 func Records(src Source, workload, target string) ([]policy.WarmRecord, error) {
+	return RecordsCalibrated(src, workload, target, nil)
+}
+
+// RecordsCalibrated is Records with a fleet-pooled calibration overlay:
+// scales the task's own overlap pairs cannot fit (no native history
+// yet) fall back to pooled, fit across every workload the fleet has
+// measured (regserver's /v1/calibration). nil pooled is plain Records.
+func RecordsCalibrated(src Source, workload, target string, pooled *Calibration) ([]policy.WarmRecord, error) {
 	l, err := src.Fetch(workload)
 	if err != nil {
 		return nil, err
 	}
-	return Prepare(l.Records, workload, target, src.Name()), nil
+	return PrepareCalibrated(l.Records, workload, target, src.Name(), pooled), nil
 }
 
 // Prepare is the filter/weight stage of Records, exposed for callers
 // that already hold raw records.
 func Prepare(recs []measure.Record, workload, target, source string) []policy.WarmRecord {
+	return PrepareCalibrated(recs, workload, target, source, nil)
+}
+
+// PrepareCalibrated is Prepare with a pooled-calibration fallback for
+// sibling scales the local records cannot fit (see RecordsCalibrated).
+func PrepareCalibrated(recs []measure.Record, workload, target, source string, pooled *Calibration) []policy.WarmRecord {
 	var native, sibling []measure.Record
 	for _, rec := range recs {
 		if rec.Task != workload || rec.Seconds <= 0 {
@@ -355,6 +291,7 @@ func Prepare(recs []measure.Record, workload, target, source string) []policy.Wa
 	sortCanonical(native)
 	sortCanonical(sibling)
 	cal := FitCalibration(recs, target)
+	cal.Merge(pooled) // locally-fit scales win; pooled fills the gaps
 
 	out := make([]policy.WarmRecord, 0, len(native)+len(sibling))
 	for _, rec := range native {
