@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/measure"
+	"repro/internal/prof"
 	"repro/internal/regserver"
 )
 
@@ -42,8 +43,17 @@ func main() {
 		warmStart = flag.String("warm-start", "", "warm-start the Ansor runs (baselines stay cold) from tuning history: a log/registry file, a registry server URL (task-filtered fleet history), the literal 'registry' for the -registry-url server, or a comma-separated mix; NOTE this deliberately changes Ansor's results, unlike -resume")
 		wsLimit   = flag.Int("warm-start-limit", 0, "cap the records each warm-start source contributes per task, subsampled training-representatively (top-k fastest + slow tail); 0 = unbounded")
 		fleetURL  = flag.String("fleet-url", "", "measure on a distributed worker fleet via this broker (ansor-registry fleet) instead of in-process; figures are bit-identical either way")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file; the search phases are pprof-labeled, so `go tool pprof -tagfocus phase=score` isolates one stage")
+		memProfile = flag.String("memprofile", "", "write an allocation profile (live heap + cumulative allocs) to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ansor-bench: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *applyBest == "registry" {
 		if *regURL == "" {
@@ -66,6 +76,10 @@ func main() {
 				shape = shape[:8]
 			}
 			fmt.Printf("%-32s %-20s %-10s %12.6g\n", k.Workload, k.Target, shape, rec.Seconds)
+		}
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "ansor-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -176,7 +190,12 @@ func main() {
 		}
 	}
 	run(*which)
-	if !closeLog() {
+	ok := closeLog()
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "ansor-bench: %v\n", err)
+		ok = false
+	}
+	if !ok {
 		os.Exit(1)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"repro/ansor"
+	"repro/internal/prof"
 	"repro/internal/workloads"
 )
 
@@ -43,31 +44,42 @@ func main() {
 
 // run is the whole CLI; main only maps its error to an exit code, so
 // tests drive the binary in-process.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("ansor-tune", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload  = fs.String("workload", "", "single op or subgraph key, e.g. GMM.s1, ConvLayer.s0")
-		network   = fs.String("network", "", "network name: resnet-50, mobilenet-v2, 3d-resnet-18, dcgan, bert")
-		batch     = fs.Int("batch", 1, "batch size")
-		target    = fs.String("target", "intel", "target: intel, intel-avx512, arm, gpu")
-		trials    = fs.Int("trials", 1000, "measurement trials (per task for networks)")
-		perRound  = fs.Int("per-round", 64, "measurements per search round")
-		seed      = fs.Int64("seed", 1, "random seed")
-		workers   = fs.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
-		logTo     = fs.String("log", "", "append measurement records to this tuning log (one JSON record per line)")
-		resume    = fs.String("resume", "", "resume from this tuning log: logged programs replay without re-measuring; with the same seed/options the run is bit-identical to an uninterrupted one (implies -log to the same file unless -log is set)")
-		warmStart = fs.String("warm-start", "", "seed each task's cost model and best pool from tuning history before the first round; takes a log/registry file, a registry server URL (task-filtered fleet history), the literal 'registry' for the -registry-url server, or a comma-separated mix; sibling-target records transfer into the model only, time-calibrated and discounted")
-		applyBest = fs.String("apply-best", "", "skip searching: replay the best recorded schedule for the workload/network with zero trials; takes a log/registry file, a registry server URL, or the literal 'registry' for the -registry-url server")
-		wsLimit   = fs.Int("warm-start-limit", 0, "cap the records each warm-start source contributes per task, subsampled training-representatively (top-k fastest + slow tail); 0 = unbounded")
-		regURL    = fs.String("registry-url", "", "publish every fresh measurement to this ansor-registry server (e.g. http://127.0.0.1:8421) so concurrent tuning jobs accumulate one shared registry")
-		fleetURL  = fs.String("fleet-url", "", "measure on a distributed worker fleet via this broker (ansor-registry fleet) instead of in-process; output is bit-identical to a local run at any worker count")
-		pooledCal = fs.Bool("pooled-calibration", false, "pull the -registry-url server's fleet-pooled cross-target time calibration at startup; fills calibration gaps for warm starts and foreign-clock fleet results where this run has no local overlap (training-data weighting only; measured bests are untouched)")
-		list      = fs.Bool("list", false, "list available workloads and exit")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file; the search phases are pprof-labeled, so `go tool pprof -tagfocus phase=score` isolates one stage")
+		memProfile = fs.String("memprofile", "", "write an allocation profile (live heap + cumulative allocs) to this file at exit")
+		workload   = fs.String("workload", "", "single op or subgraph key, e.g. GMM.s1, ConvLayer.s0")
+		network    = fs.String("network", "", "network name: resnet-50, mobilenet-v2, 3d-resnet-18, dcgan, bert")
+		batch      = fs.Int("batch", 1, "batch size")
+		target     = fs.String("target", "intel", "target: intel, intel-avx512, arm, gpu")
+		trials     = fs.Int("trials", 1000, "measurement trials (per task for networks)")
+		perRound   = fs.Int("per-round", 64, "measurements per search round")
+		seed       = fs.Int64("seed", 1, "random seed")
+		workers    = fs.Int("workers", 0, "worker goroutines for the tuning pipeline (0 = GOMAXPROCS); results are identical for any value")
+		logTo      = fs.String("log", "", "append measurement records to this tuning log (one JSON record per line)")
+		resume     = fs.String("resume", "", "resume from this tuning log: logged programs replay without re-measuring; with the same seed/options the run is bit-identical to an uninterrupted one (implies -log to the same file unless -log is set)")
+		warmStart  = fs.String("warm-start", "", "seed each task's cost model and best pool from tuning history before the first round; takes a log/registry file, a registry server URL (task-filtered fleet history), the literal 'registry' for the -registry-url server, or a comma-separated mix; sibling-target records transfer into the model only, time-calibrated and discounted")
+		applyBest  = fs.String("apply-best", "", "skip searching: replay the best recorded schedule for the workload/network with zero trials; takes a log/registry file, a registry server URL, or the literal 'registry' for the -registry-url server")
+		wsLimit    = fs.Int("warm-start-limit", 0, "cap the records each warm-start source contributes per task, subsampled training-representatively (top-k fastest + slow tail); 0 = unbounded")
+		regURL     = fs.String("registry-url", "", "publish every fresh measurement to this ansor-registry server (e.g. http://127.0.0.1:8421) so concurrent tuning jobs accumulate one shared registry")
+		fleetURL   = fs.String("fleet-url", "", "measure on a distributed worker fleet via this broker (ansor-registry fleet) instead of in-process; output is bit-identical to a local run at any worker count")
+		pooledCal  = fs.Bool("pooled-calibration", false, "pull the -registry-url server's fleet-pooled cross-target time calibration at startup; fills calibration gaps for warm starts and foreign-clock fleet results where this run has no local overlap (training-data weighting only; measured bests are untouched)")
+		list       = fs.Bool("list", false, "list available workloads and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	if *list {
 		fmt.Fprintln(stdout, "single operators and subgraphs (use with -workload):")

@@ -16,6 +16,7 @@ package evo
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/anno"
 	"repro/internal/ir"
@@ -64,6 +65,17 @@ type Scorer interface {
 	NodeScores(s *ir.State) map[string]float64
 }
 
+// IntoScorer is an optional Scorer extension for the zero-alloc score
+// path: ScoreInto writes the score of states[i] to dst[i] (len(dst) ==
+// len(states)) instead of allocating a result slice per call. ScoreAll
+// shards thousands of small chunks per round; with ScoreInto each chunk
+// writes straight into the caller's result buffer. Scores must be
+// identical to Score's.
+type IntoScorer interface {
+	Scorer
+	ScoreInto(dst []float64, states []*ir.State)
+}
+
 // Search runs evolutionary fine-tuning.
 type Search struct {
 	Cfg  Config
@@ -101,6 +113,9 @@ func (e *Search) Run(dag *te.DAG, init []*ir.State, scorer Scorer, out int) []*i
 		score float64
 	}
 	best := map[string]scored{}
+	// record keys the best-map off the memoized signature: elites and
+	// re-derived twins survive across generations, so this reads the
+	// cached string rather than rebuilding it per generation.
 	record := func(states []*ir.State, scores []float64) {
 		for i, s := range states {
 			sig := s.Signature()
@@ -217,6 +232,15 @@ const scoreChunk = 8
 // policy's batch selection.
 func ScoreAll(pl *pool.Pool, scorer Scorer, states []*ir.State) []float64 {
 	out := make([]float64, len(states))
+	ScoreAllInto(pl, scorer, states, out)
+	return out
+}
+
+// ScoreAllInto is ScoreAll writing into the caller's buffer (len(out)
+// == len(states)). Scorers implementing IntoScorer fill their chunk of
+// the buffer directly; others pay one slice allocation per chunk.
+func ScoreAllInto(pl *pool.Pool, scorer Scorer, states []*ir.State, out []float64) {
+	into, zeroAlloc := scorer.(IntoScorer)
 	chunks := (len(states) + scoreChunk - 1) / scoreChunk
 	pl.Map(chunks, func(c int) {
 		lo := c * scoreChunk
@@ -224,13 +248,49 @@ func ScoreAll(pl *pool.Pool, scorer Scorer, states []*ir.State) []float64 {
 		if hi > len(states) {
 			hi = len(states)
 		}
+		if zeroAlloc {
+			into.ScoreInto(out[lo:hi], states[lo:hi])
+			return
+		}
 		copy(out[lo:hi], scorer.Score(states[lo:hi]))
 	})
-	return out
 }
 
+// scoreAll scores one population with within-wave dedupe: twin
+// offspring (equal signatures — mutation and crossover keep re-deriving
+// the same program from different parents, and elites survive rounds
+// verbatim) are scored once and share the result. Scores are pure
+// functions of the program under a frozen model, so sharing cannot
+// change any value — only skip redundant ensemble walks. Grouping keys
+// off the memoized signature and first occurrence wins, so the unique
+// set and the expanded result are pure functions of the population
+// order.
 func (e *Search) scoreAll(scorer Scorer, pop []*ir.State) []float64 {
-	return ScoreAll(e.pool, scorer, pop)
+	scores := make([]float64, len(pop))
+	ref := make([]int, len(pop))
+	uniq := make([]*ir.State, 0, len(pop))
+	first := make(map[string]int, len(pop))
+	for i, s := range pop {
+		sig := s.Signature()
+		j, dup := first[sig]
+		if !dup {
+			j = len(uniq)
+			first[sig] = j
+			uniq = append(uniq, s)
+		}
+		ref[i] = j
+	}
+	uscores := scores[:len(uniq)]
+	if len(uniq) < len(pop) {
+		uscores = make([]float64, len(uniq))
+	}
+	ScoreAllInto(e.pool, scorer, uniq, uscores)
+	if len(uniq) < len(pop) {
+		for i, j := range ref {
+			scores[i] = uscores[j]
+		}
+	}
+	return scores
 }
 
 // elites returns the top EliteCount programs of the current population.
@@ -285,7 +345,8 @@ func (r *roulette) pick(rng *rand.Rand) int {
 // mutate applies one randomly chosen evolution operation to a copy of the
 // parent's steps and replays; nil on invalid offspring.
 func (e *Search) mutate(dag *te.DAG, parent *ir.State, rng *rand.Rand) *ir.State {
-	steps := cloneSteps(parent.Steps)
+	holder := takeSteps()
+	steps := cloneStepsInto((*holder)[:0], parent.Steps)
 	ok := false
 	switch rng.Intn(5) {
 	case 0:
@@ -300,21 +361,40 @@ func (e *Search) mutate(dag *te.DAG, parent *ir.State, rng *rand.Rand) *ir.State
 		ok = mutatePragma(steps, rng)
 	}
 	if !ok {
+		putSteps(holder, steps)
 		return nil
 	}
 	s, err := ir.Replay(dag, steps)
+	putSteps(holder, steps)
 	if err != nil || !s.Complete() || s.Validate() != nil {
 		return nil
 	}
 	return s
 }
 
-func cloneSteps(steps []ir.Step) []ir.Step {
-	out := make([]ir.Step, len(steps))
-	for i, s := range steps {
-		out[i] = s.Clone()
+// stepsScratch recycles the step-list buffers that offspring attempts
+// clone parents into. Replay copies the steps into the new state's own
+// history slice, so the scratch buffer itself is never retained — most
+// attempts are discarded as invalid anyway, and without recycling every
+// attempt pays a fresh slice allocation.
+var stepsScratch = sync.Pool{New: func() any { return new([]ir.Step) }}
+
+func takeSteps() *[]ir.Step { return stepsScratch.Get().(*[]ir.Step) }
+
+// putSteps clears the scratch entries (so recycled buffers don't pin
+// discarded step objects) and returns the buffer to the pool.
+func putSteps(holder *[]ir.Step, steps []ir.Step) {
+	clear(steps)
+	*holder = steps[:0]
+	stepsScratch.Put(holder)
+}
+
+// cloneStepsInto deep-clones steps, appending to dst.
+func cloneStepsInto(dst []ir.Step, steps []ir.Step) []ir.Step {
+	for _, s := range steps {
+		dst = append(dst, s.Clone())
 	}
-	return out
+	return dst
 }
 
 // mutateTileSize implements the paper's tile size mutation: divide one
@@ -485,7 +565,8 @@ func (e *Search) crossover(dag *te.DAG, a, b *ir.State, scorer Scorer, rng *rand
 		bSteps[k] = append(bSteps[k], s)
 	}
 	taken := map[key]int{}
-	steps := make([]ir.Step, 0, len(a.Steps))
+	holder := takeSteps()
+	steps := (*holder)[:0]
 	for _, s := range a.Steps {
 		tag := ir.BaseStage(s.StageName())
 		if donorB[tag] {
@@ -499,6 +580,7 @@ func (e *Search) crossover(dag *te.DAG, a, b *ir.State, scorer Scorer, rng *rand
 		steps = append(steps, s.Clone())
 	}
 	child, err := ir.Replay(dag, steps)
+	putSteps(holder, steps)
 	if err != nil || !child.Complete() || child.Validate() != nil {
 		return nil
 	}

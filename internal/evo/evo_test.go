@@ -117,7 +117,7 @@ func TestTileSizeMutationKeepsProduct(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	hits := 0
 	for i := 0; i < 200; i++ {
-		steps := cloneSteps(pop[i%len(pop)].Steps)
+		steps := cloneStepsInto(nil, pop[i%len(pop)].Steps)
 		if !mutateTileSize(steps, rng) {
 			continue
 		}

@@ -2,6 +2,7 @@ package feat
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ir"
 )
@@ -32,11 +33,11 @@ type Entry struct {
 // a deterministic generation reset that depends only on the insertion
 // sequence, never on timing.
 type Cache struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	m      map[string]Entry
 	limit  int
-	hits   int64
-	misses int64
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewCache returns a feature cache bounded to limit entries (0 =
@@ -50,17 +51,14 @@ func NewCache(limit int) *Cache {
 // cached as a nil-feature entry.
 func (c *Cache) Program(s *ir.State) (Entry, bool) {
 	sig := s.Signature()
-	c.mu.Lock()
+	c.mu.RLock()
 	e, hit := c.m[sig]
+	c.mu.RUnlock()
 	if hit {
-		c.hits++
-	} else {
-		c.misses++
-	}
-	c.mu.Unlock()
-	if hit {
+		c.hits.Add(1)
 		return e, e.Feats != nil
 	}
+	c.misses.Add(1)
 	low, err := ir.Lower(s)
 	if err == nil {
 		e = fromLowered(low)
@@ -76,9 +74,9 @@ func (c *Cache) Add(s *ir.State, low *ir.Lowered) {
 		return
 	}
 	sig := s.Signature()
-	c.mu.Lock()
+	c.mu.RLock()
 	_, exists := c.m[sig]
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	if exists {
 		return
 	}
@@ -105,7 +103,7 @@ func (c *Cache) put(sig string, e Entry) {
 // Stats reports (hits, misses, live entries) for observability and
 // tests.
 func (c *Cache) Stats() (hits, misses int64, size int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.m)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits.Load(), c.misses.Load(), len(c.m)
 }

@@ -1,0 +1,42 @@
+package feat
+
+import (
+	"testing"
+
+	"repro/internal/anno"
+	"repro/internal/ir"
+	"repro/internal/sketch"
+	"repro/internal/te"
+)
+
+func benchLowered(b *testing.B) *ir.Lowered {
+	b.Helper()
+	bd := te.NewBuilder("conv")
+	x := bd.Input("X", 16, 256, 14, 14)
+	y := bd.Conv2D(x, te.ConvOpts{OutChannels: 512, Kernel: 3, Stride: 2, Pad: 1})
+	bd.ReLU(y)
+	dag := bd.MustFinish()
+	sk, err := sketch.NewGenerator(sketch.CPUTarget()).Generate(dag)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := anno.NewSampler(sketch.CPUTarget(), 1).SamplePopulation(sk, 1)[0]
+	low, err := ir.Lower(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return low
+}
+
+// BenchmarkExtract measures Appendix-B feature extraction of one lowered
+// program — the cost of every feature-cache miss on the score path.
+func BenchmarkExtract(b *testing.B) {
+	low := benchLowered(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := Extract(low); len(f) == 0 {
+			b.Fatal("no features")
+		}
+	}
+}

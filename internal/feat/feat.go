@@ -8,6 +8,7 @@ package feat
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/te"
@@ -48,18 +49,56 @@ func lg(x float64) float64 {
 	return math.Log2(x + 1)
 }
 
+// scratch holds the per-extraction working buffers (access list, ranked
+// sizes, AI-curve samples) so the extraction hot path allocates only the
+// feature rows it returns. Pooled because the sharded search extracts
+// from many goroutines. All buffers are transient within one Extract
+// call; access pointers are cleared before the scratch returns to the
+// pool so it never pins a program.
+type scratch struct {
+	accs  []*ir.FlatAccess
+	sizes []float64
+	ai    []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// accesses fills sc.accs with the statement's accesses in canonical
+// order (reads, then the write) — the order every consumer iterates in.
+func (sc *scratch) accesses(st *ir.Stmt) []*ir.FlatAccess {
+	sc.accs = sc.accs[:0]
+	sc.accs = append(sc.accs, st.Reads...)
+	if st.Write != nil {
+		sc.accs = append(sc.accs, st.Write)
+	}
+	return sc.accs
+}
+
+func (sc *scratch) release() {
+	clear(sc.accs[:cap(sc.accs)])
+	sc.accs = sc.accs[:0]
+	scratchPool.Put(sc)
+}
+
 // Extract returns one feature vector per innermost statement of the
-// lowered program.
+// lowered program. The rows share one backing slab: two allocations per
+// program (slab + row index) regardless of statement count, plus pooled
+// scratch for the per-statement working sets.
 func Extract(low *ir.Lowered) [][]float64 {
 	out := make([][]float64, len(low.Stmts))
+	slab := make([]float64, len(low.Stmts)*Dim)
+	sc := scratchPool.Get().(*scratch)
 	for i, st := range low.Stmts {
-		out[i] = extractStmt(st)
+		v := slab[i*Dim : (i+1)*Dim : (i+1)*Dim]
+		extractStmt(v, st, sc)
+		out[i] = v
 	}
+	sc.release()
 	return out
 }
 
-func extractStmt(st *ir.Stmt) []float64 {
-	v := make([]float64, Dim)
+// extractStmt fills v (len Dim, zeroed) with st's features.
+func extractStmt(v []float64, st *ir.Stmt, sc *scratch) {
 	iters := float64(st.IterCount())
 	p := 0
 
@@ -94,10 +133,10 @@ func extractStmt(st *ir.Stmt) []float64 {
 	p += gpuBinding
 
 	// ---- Arithmetic intensity curve ----
-	p = extractAICurve(v, p, st)
+	p = extractAICurve(v, p, st, sc)
 
 	// ---- Buffer access features ----
-	accs := rankedAccesses(st)
+	accs := rankedAccesses(st, sc)
 	for bi := 0; bi < bufCount; bi++ {
 		if bi < len(accs) {
 			extractBuffer(v[p:p+bufFeats], st, accs[bi])
@@ -118,7 +157,6 @@ func extractStmt(st *ir.Stmt) []float64 {
 	v[p+2] = lg(float64(st.AutoUnrollMax))
 	p += otherFeats
 	_ = p
-	return v
 }
 
 // extractAnnGroup fills len/product/number plus the 8-way position one-hot
@@ -165,22 +203,29 @@ func extractAnnGroup(v []float64, p int, st *ir.Stmt, ann ir.Annotation) int {
 }
 
 // extractAICurve samples the arithmetic-intensity curve at 10 depths.
-func extractAICurve(v []float64, p int, st *ir.Stmt) int {
+func extractAICurve(v []float64, p int, st *ir.Stmt, sc *scratch) int {
 	n := len(st.Loops)
 	flopsPerIter := st.Flops.Total()
 	if flopsPerIter < 1 {
 		flopsPerIter = 1
 	}
 	// At depth d, work below = flops * prod(extents >= d); bytes below =
-	// footprint of all accesses at depth d.
-	ai := make([]float64, n+1)
+	// footprint of all accesses at depth d. The access list is the same
+	// at every depth, so it is built once; the per-depth byte sums visit
+	// it in the same canonical order as before, keeping every float
+	// operation in place.
+	if cap(sc.ai) < n+1 {
+		sc.ai = make([]float64, n+1)
+	}
+	ai := sc.ai[:n+1]
+	accs := sc.accesses(st)
 	inner := 1.0
 	for d := n; d >= 0; d-- {
 		if d < n {
 			inner *= float64(st.Loops[d].Extent)
 		}
 		bytes := 1.0
-		for _, a := range allAccesses(st) {
+		for _, a := range accs {
 			bytes += uniqueBytes(a, st.Loops, d)
 		}
 		ai[d] = flopsPerIter * inner / bytes
@@ -198,14 +243,6 @@ func extractAICurve(v []float64, p int, st *ir.Stmt) int {
 		v[p+i] = lg(ai[lo]*(1-frac) + ai[hi]*frac)
 	}
 	return p + aiCurve
-}
-
-func allAccesses(st *ir.Stmt) []*ir.FlatAccess {
-	out := append([]*ir.FlatAccess{}, st.Reads...)
-	if st.Write != nil {
-		out = append(out, st.Write)
-	}
-	return out
 }
 
 // uniqueBytes is the element-granular unique footprint of an access with
@@ -234,13 +271,22 @@ func uniqueBytes(a *ir.FlatAccess, loops []*ir.LLoop, depth int) float64 {
 // rankedAccesses orders the statement's accesses by unique bytes
 // (descending) so the 5 feature slots hold the largest buffers, as the
 // appendix specifies ("remove small buffers if a statement accesses more
-// than five buffers").
-func rankedAccesses(st *ir.Stmt) []*ir.FlatAccess {
-	accs := allAccesses(st)
-	sz := func(a *ir.FlatAccess) float64 { return uniqueBytes(a, st.Loops, 0) }
+// than five buffers"). Sizes are computed once per access and swapped
+// alongside — uniqueBytes is pure, so the comparisons (and the final
+// order) match the old recompute-per-comparison sort exactly.
+func rankedAccesses(st *ir.Stmt, sc *scratch) []*ir.FlatAccess {
+	accs := sc.accesses(st)
+	if cap(sc.sizes) < len(accs) {
+		sc.sizes = make([]float64, len(accs))
+	}
+	sz := sc.sizes[:len(accs)]
+	for i, a := range accs {
+		sz[i] = uniqueBytes(a, st.Loops, 0)
+	}
 	for i := 1; i < len(accs); i++ {
-		for j := i; j > 0 && sz(accs[j]) > sz(accs[j-1]); j-- {
+		for j := i; j > 0 && sz[j] > sz[j-1]; j-- {
 			accs[j], accs[j-1] = accs[j-1], accs[j]
+			sz[j], sz[j-1] = sz[j-1], sz[j]
 		}
 	}
 	return accs

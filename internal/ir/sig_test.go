@@ -1,0 +1,104 @@
+package ir
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSignatureMemoization pins the memoization safety argument: the
+// memoized signature always equals a fresh rebuild, Apply invalidates
+// it, clones inherit it, and a clone that diverges structurally stops
+// sharing it.
+func TestSignatureMemoization(t *testing.T) {
+	s := NewState(matmulReLU(64, 64, 64))
+	s.MustApply(&MultiLevelTileStep{
+		Stage:         "matmul",
+		Structure:     "SSRSRS",
+		SpaceFactors:  [][]int{{8, 2, 4}, {8, 8, 1}},
+		ReduceFactors: [][]int{{16}},
+	})
+	first := s.Signature()
+	if got := s.buildSignature(); got != first {
+		t.Fatalf("memoized signature diverges from rebuild:\n%s\n%s", first, got)
+	}
+	if s.Signature() != first || s.FamilySignature() != s.buildSignature() {
+		t.Fatal("repeat signature reads changed")
+	}
+
+	// Apply drops the memo: the signature must reflect the new step.
+	before := s.Signature()
+	s.MustApply(&AnnotateStep{Stage: "relu", IterIdx: 0, Ann: AnnParallel})
+	after := s.Signature()
+	if after == before {
+		t.Fatal("signature unchanged after Apply")
+	}
+	if after != s.buildSignature() {
+		t.Fatal("post-Apply signature diverges from rebuild")
+	}
+
+	// Clones inherit the memo but not future divergence.
+	c := s.Clone()
+	if c.Signature() != s.Signature() {
+		t.Fatal("clone signature differs from original")
+	}
+	if err := c.Apply(&PragmaStep{Stage: "matmul", AutoUnrollMax: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Signature() == s.Signature() {
+		t.Fatal("diverged clone still shares the original's signature")
+	}
+	if s.Signature() != after {
+		t.Fatal("mutating the clone changed the original's signature")
+	}
+}
+
+// TestSignatureConcurrentReads races many Signature/FamilySignature
+// readers over one shared state (the sharded scorer does exactly this);
+// run under -race by the CI gates. All readers must agree.
+func TestSignatureConcurrentReads(t *testing.T) {
+	s := NewState(convReLU())
+	s.MustApply(&InlineStep{Stage: "pad"})
+	want := s.buildSignature()
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if got := s.Signature(); got != want {
+					errs <- got
+					return
+				}
+				_ = s.FamilySignature()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if bad, ok := <-errs; ok {
+		t.Fatalf("concurrent signature read diverged: %s != %s", bad, want)
+	}
+}
+
+// TestSignatureMemoizedZeroAlloc pins the steady-state signature read at
+// zero allocations: after the first build, dedupe-map and cache keys
+// must not rebuild the string.
+func TestSignatureMemoizedZeroAlloc(t *testing.T) {
+	s := NewState(matmulReLU(64, 64, 64))
+	s.MustApply(&MultiLevelTileStep{
+		Stage:         "matmul",
+		Structure:     "SSRSRS",
+		SpaceFactors:  [][]int{{8, 2, 4}, {8, 8, 1}},
+		ReduceFactors: [][]int{{16}},
+	})
+	_ = s.Signature()
+	var sink string
+	if n := testing.AllocsPerRun(100, func() {
+		sink = s.Signature()
+		sink = s.FamilySignature()
+	}); n != 0 {
+		t.Errorf("memoized signature read allocates %.1f objects/op, want 0", n)
+	}
+	_ = sink
+}

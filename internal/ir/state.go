@@ -12,6 +12,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/te"
 )
@@ -171,6 +172,22 @@ type State struct {
 	DAG    *te.DAG
 	Stages []*Stage
 	Steps  []Step
+
+	// sig memoizes Signature/FamilySignature. A state's structure only
+	// changes through Apply, which drops the memo; after the final
+	// replay step a state is immutable, so the search-side hot path
+	// (dedupe maps, the feature cache, best tracking) computes each
+	// program's signature exactly once instead of rebuilding the string
+	// per lookup. The pointer is atomic because sharded scoring reads
+	// signatures of shared states concurrently; racing computations
+	// store identical immutable memos, so any winner is correct.
+	sig atomic.Pointer[sigMemo]
+}
+
+// sigMemo is an immutable signature pair cached on a State.
+type sigMemo struct {
+	sig string
+	fam string
 }
 
 // NewState returns the naive program of the DAG: one stage per node, one
@@ -197,7 +214,8 @@ func naiveStage(n *te.Node) *Stage {
 }
 
 // Clone returns a deep copy of the state (steps are shared; they are
-// immutable after application).
+// immutable after application). The signature memo carries over: a
+// clone is structurally identical until its next Apply, which drops it.
 func (s *State) Clone() *State {
 	c := &State{DAG: s.DAG}
 	c.Stages = make([]*Stage, len(s.Stages))
@@ -205,6 +223,7 @@ func (s *State) Clone() *State {
 		c.Stages[i] = st.clone()
 	}
 	c.Steps = append([]Step(nil), s.Steps...)
+	c.sig.Store(s.sig.Load())
 	return c
 }
 
@@ -315,8 +334,12 @@ func (s *State) EffectiveConsumer(st *Stage) *Stage {
 	}
 }
 
-// Apply applies one step and records it in the rewriting history.
+// Apply applies one step and records it in the rewriting history. Any
+// memoized signature is dropped: the step changed the structure. (Steps
+// that fail partway may also have mutated the state, so the memo is
+// dropped on the error path too.)
 func (s *State) Apply(step Step) error {
+	s.sig.Store(nil)
 	if err := step.Apply(s); err != nil {
 		return err
 	}
@@ -422,7 +445,33 @@ func (s *State) iterList(st *Stage) []*Iter { return st.Iters }
 // exact; the persistence layer still keys exact program identity on the
 // (DAG fingerprint, step list) pair — see internal/measure — because the
 // signature does not record how the program was derived.
-func (s *State) Signature() string {
+//
+// The string is memoized on the state: it is a pure function of the
+// post-replay structure, and the search consults it on every dedupe
+// map, feature-cache and best-pool touch of every candidate.
+func (s *State) Signature() string { return s.memoSig().sig }
+
+// FamilySignature identifies the program's structural family: the
+// Signature with the constant-layout packing markers stripped. Near-twin
+// variants that differ only in packing (§4.2's layout rewrite) share a
+// family. Search uses it as a diversity key when cutting candidate
+// lists: identity stays exact (Signature), but a measurement batch
+// should not fill up with twins of one loop structure.
+func (s *State) FamilySignature() string { return s.memoSig().fam }
+
+// memoSig returns the cached signature pair, computing it on first use.
+func (s *State) memoSig() *sigMemo {
+	if m := s.sig.Load(); m != nil {
+		return m
+	}
+	sig := s.buildSignature()
+	m := &sigMemo{sig: sig, fam: strings.ReplaceAll(sig, "!pk", "")}
+	s.sig.Store(m)
+	return m
+}
+
+// buildSignature renders the signature string (see Signature).
+func (s *State) buildSignature() string {
 	var b strings.Builder
 	for _, st := range s.Stages {
 		if st.Inlined {
@@ -448,16 +497,6 @@ func (s *State) Signature() string {
 		}
 	}
 	return b.String()
-}
-
-// FamilySignature identifies the program's structural family: the
-// Signature with the constant-layout packing markers stripped. Near-twin
-// variants that differ only in packing (§4.2's layout rewrite) share a
-// family. Search uses it as a diversity key when cutting candidate
-// lists: identity stays exact (Signature), but a measurement batch
-// should not fill up with twins of one loop structure.
-func (s *State) FamilySignature() string {
-	return strings.ReplaceAll(s.Signature(), "!pk", "")
 }
 
 func annShort(a Annotation) string {

@@ -1,0 +1,32 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/evo"
+)
+
+// TestScoreIntoZeroAlloc pins the steady-state score path at zero
+// allocations per batch: once a program's signature is memoized and its
+// features cached, ScoreInto is a map lookup plus a flattened-ensemble
+// walk per program. A regression here (signature rebuild, per-call memo
+// map, out-slice allocation) shows up as a nonzero count.
+func TestScoreIntoZeroAlloc(t *testing.T) {
+	p := benchPolicy(t)
+	if !p.model.Trained() {
+		t.Fatal("cost model untrained after two search rounds")
+	}
+	states := p.sampler.SamplePopulation(p.sketches, 64)
+	if len(states) == 0 {
+		t.Fatal("no sampled states")
+	}
+	sc := p.scorer().(evo.IntoScorer)
+	dst := make([]float64, len(states))
+	// Warm pass: lower + extract + memoize signatures once.
+	sc.ScoreInto(dst, states)
+	if n := testing.AllocsPerRun(100, func() {
+		sc.ScoreInto(dst, states)
+	}); n != 0 {
+		t.Errorf("cache-hit ScoreInto allocates %.1f objects per batch, want 0", n)
+	}
+}

@@ -6,8 +6,10 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -208,7 +210,10 @@ func (p *Policy) Sketches() []*ir.State { return p.sketches }
 // numMeasure programs, measure them, and retrain the cost model. It
 // returns the measurement results (§5's iterative fine-tuning).
 func (p *Policy) SearchRound(numMeasure int) []measure.Result {
-	init := p.sampler.SamplePopulation(p.sketches, p.Opts.SampleInitSize)
+	var init []*ir.State
+	phase("sketch", func() {
+		init = p.sampler.SamplePopulation(p.sketches, p.Opts.SampleInitSize)
+	})
 	for i, s := range p.bestStates {
 		if i >= p.Opts.KeepBest {
 			break
@@ -221,10 +226,8 @@ func (p *Policy) SearchRound(numMeasure int) []measure.Result {
 	// One scorer serves the whole round so programs featurized during
 	// evolution are not re-lowered for batch selection.
 	sc := p.scorer()
-	var candidates []*ir.State
-	if p.Opts.DisableFineTuning || !p.model.Trained() {
-		candidates = init
-	} else {
+	candidates := init
+	if !p.Opts.DisableFineTuning && p.model.Trained() {
 		search := evo.NewSearch(evo.Config{
 			PopulationSize: p.Opts.Population,
 			Generations:    p.Opts.Generations,
@@ -233,18 +236,34 @@ func (p *Policy) SearchRound(numMeasure int) []measure.Result {
 			Seed:           p.rng.Int63(),
 			Workers:        p.Opts.Workers,
 		})
-		candidates = search.Run(p.Task.DAG, init, sc, 4*numMeasure)
+		phase("evolve", func() {
+			candidates = search.Run(p.Task.DAG, init, sc, 4*numMeasure)
+		})
 	}
-	batch := p.pickBatch(sc, candidates, numMeasure)
+	var batch []*ir.State
+	phase("score", func() { batch = p.pickBatch(sc, candidates, numMeasure) })
 	// Task-attributed measurement: records land in the tuning log under
 	// this task's name, and a resume cache serves exactly the records
 	// this task wrote. Cache hits cost no measurer trial but still count
 	// against the policy-local budget, so a resumed search replays the
 	// original trial accounting bit for bit.
-	results := p.Measurer.MeasureTask(p.Task.Name, batch)
+	var results []measure.Result
+	phase("measure", func() {
+		results = p.Measurer.MeasureTask(p.Task.Name, batch)
+	})
 	p.Trials += len(batch)
 	p.update(results)
 	return results
+}
+
+// phase runs fn with a pprof "phase" label so CPU and heap profiles
+// split by search stage (sketch / evolve / score / measure / train).
+// Labels propagate to goroutines started inside fn, so the sharded
+// evolution's workers are attributed to their phase too.
+func phase(name string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) {
+		fn()
+	})
 }
 
 // pickBatch selects the programs to measure: mostly the best-scoring
@@ -384,6 +403,10 @@ func (p *Policy) retrain() {
 	if len(p.progTimes) == 0 || p.Opts.DisableFineTuning {
 		return
 	}
+	phase("train", p.retrainModel)
+}
+
+func (p *Policy) retrainModel() {
 	minT := p.progTimes[0]
 	for _, t := range p.progTimes {
 		if t < minT {
@@ -513,50 +536,58 @@ func (p *Policy) scoreAll(sc evo.Scorer, states []*ir.State) []float64 {
 // scorer adapts the cost model to the evolutionary search, backed by the
 // policy's cross-round feature cache.
 func (p *Policy) scorer() evo.Scorer {
-	return &modelScorer{model: p.model, feats: p.feats, memo: map[*ir.State]feat.Entry{}}
+	return &modelScorer{model: p.model, feats: p.feats}
 }
 
 // modelScorer serves concurrent Score/NodeScores calls from the sharded
-// evolution. Entries come from the policy's signature-keyed feature
-// cache (shared across rounds); a per-round pointer memo skips the
-// signature computation for states the round has already scored.
+// evolution. Each artifact has exactly one memoization layer: the
+// signature lives on the state (ir memoizes it), features live in the
+// policy's cross-round cache, and the ensemble score lives here, keyed
+// by signature for the scorer's lifetime. A scorer serves one search
+// round and the cost model is frozen until that round's retrain, so a
+// program's score is a pure function of its signature — elites and
+// re-derived twins, which evolution re-scores every generation, pay the
+// ensemble walk once per round. (An earlier per-round pointer→entry
+// memo that duplicated the feature cache is gone.)
 type modelScorer struct {
 	model *xgb.CostModel
 	feats *feat.Cache
-	mu    sync.Mutex
-	memo  map[*ir.State]feat.Entry
-}
-
-func (m *modelScorer) entry(s *ir.State) feat.Entry {
-	m.mu.Lock()
-	e, ok := m.memo[s]
-	m.mu.Unlock()
-	if ok {
-		return e
-	}
-	e, _ = m.feats.Program(s)
-	m.mu.Lock()
-	m.memo[s] = e
-	m.mu.Unlock()
-	return e
+	// scores maps signature → float64 score. sync.Map because the
+	// sharded scoring workers are read-heavy on exactly the keys other
+	// workers insert; values are pure, so a racing double-compute
+	// stores the identical float.
+	scores sync.Map
 }
 
 func (m *modelScorer) Score(states []*ir.State) []float64 {
 	out := make([]float64, len(states))
-	for i, s := range states {
-		e := m.entry(s)
-		if e.Feats == nil {
-			out[i] = -1e30
-			continue
-		}
-		out[i] = m.model.Score(e.Feats)
-	}
+	m.ScoreInto(out, states)
 	return out
 }
 
+// ScoreInto implements evo.IntoScorer: the steady-state score of a
+// seen program is a memoized-signature map lookup, with zero
+// allocations (pinned by TestScoreIntoZeroAlloc); first encounters pay
+// one flattened-ensemble walk.
+func (m *modelScorer) ScoreInto(dst []float64, states []*ir.State) {
+	for i, s := range states {
+		sig := s.Signature()
+		if v, hit := m.scores.Load(sig); hit {
+			dst[i] = v.(float64)
+			continue
+		}
+		score := -1e30
+		if e, ok := m.feats.Program(s); ok {
+			score = m.model.Score(e.Feats)
+		}
+		m.scores.Store(sig, score)
+		dst[i] = score
+	}
+}
+
 func (m *modelScorer) NodeScores(s *ir.State) map[string]float64 {
-	e := m.entry(s)
-	if e.Feats == nil || !m.model.Trained() {
+	e, ok := m.feats.Program(s)
+	if !ok || !m.model.Trained() {
 		return nil
 	}
 	out := map[string]float64{}

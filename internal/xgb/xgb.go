@@ -225,6 +225,15 @@ func (t *tree) build(x [][]float64, target, w []float64, idx []int, depth int, o
 	return self
 }
 
+// ensemble is one immutable trained model snapshot: the tree form used
+// for training continuation and fingerprinting, plus the flattened
+// structure-of-arrays form the prediction hot path walks. Both are built
+// aside and swapped in together, so readers always see a matched pair.
+type ensemble struct {
+	trees []*tree
+	flat  *flatEnsemble
+}
+
 // CostModel is the per-statement GBDT ensemble with the sum-over-
 // statements program score. Prediction is safe for concurrent use, and
 // may overlap a Fit call: readers see either the previous or the new
@@ -232,22 +241,44 @@ func (t *tree) build(x [][]float64, target, w []float64, idx []int, depth int, o
 type CostModel struct {
 	Opts Opts
 
-	mu    sync.RWMutex
-	trees []*tree
+	mu  sync.RWMutex
+	ens *ensemble
 }
 
 // NewCostModel returns an untrained cost model (scores 0 for everything).
 func NewCostModel(o Opts) *CostModel { return &CostModel{Opts: o} }
 
-// snapshot returns the current ensemble for lock-free prediction.
-func (c *CostModel) snapshot() []*tree {
+// snapshot returns the current ensemble for lock-free prediction (nil
+// when untrained).
+func (c *CostModel) snapshot() *ensemble {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.trees
+	return c.ens
+}
+
+// swap atomically installs a new ensemble, flattening it once for the
+// prediction path (nil trees clears the model).
+func (c *CostModel) swap(trees []*tree) {
+	var e *ensemble
+	if len(trees) > 0 {
+		e = &ensemble{trees: trees, flat: flatten(trees, c.Opts.LearningRate)}
+	}
+	c.mu.Lock()
+	c.ens = e
+	c.mu.Unlock()
+}
+
+// treeSnapshot returns the tree form of the current ensemble (nil when
+// untrained); Boost continues training from it.
+func (c *CostModel) treeSnapshot() []*tree {
+	if e := c.snapshot(); e != nil {
+		return e.trees
+	}
+	return nil
 }
 
 // Trained reports whether Fit has been called with data.
-func (c *CostModel) Trained() bool { return len(c.snapshot()) > 0 }
+func (c *CostModel) Trained() bool { return c.snapshot() != nil }
 
 // Fit trains the model from scratch on programs (per-statement feature
 // lists) and their normalized throughputs y ∈ [0, 1]. The loss weight of
@@ -267,9 +298,7 @@ func (c *CostModel) Fit(progs [][][]float64, y []float64) {
 // and the atomic swap are unchanged.
 func (c *CostModel) FitWeighted(progs [][][]float64, y, progWeight []float64) {
 	if len(progs) == 0 {
-		c.mu.Lock()
-		c.trees = nil
-		c.mu.Unlock()
+		c.swap(nil)
 		return
 	}
 	var rows [][]float64
@@ -283,9 +312,7 @@ func (c *CostModel) FitWeighted(progs [][][]float64, y, progWeight []float64) {
 		}
 	}
 	if len(rows) == 0 {
-		c.mu.Lock()
-		c.trees = nil
-		c.mu.Unlock()
+		c.swap(nil)
 		return
 	}
 	pl := pool.New(c.Opts.Workers)
@@ -318,9 +345,7 @@ func (c *CostModel) FitWeighted(progs [][][]float64, y, progWeight []float64) {
 		}
 		trees = append(trees, t)
 	}
-	c.mu.Lock()
-	c.trees = trees
-	c.mu.Unlock()
+	c.swap(trees)
 }
 
 // Boost is BoostWeighted with unit confidence weights.
@@ -345,7 +370,11 @@ func (c *CostModel) Boost(progs [][][]float64, y []float64, newStart int) {
 // any run issuing the same Fit/Boost call sequence over the same data
 // reproduces the exact same ensemble at any worker count.
 func (c *CostModel) BoostWeighted(progs [][][]float64, y, progWeight []float64, newStart int) {
-	prev := c.snapshot()
+	prevEns := c.snapshot()
+	var prev []*tree
+	if prevEns != nil {
+		prev = prevEns.trees
+	}
 	if len(prev) == 0 || newStart <= 0 {
 		c.FitWeighted(progs, y, progWeight)
 		return
@@ -371,15 +400,13 @@ func (c *CostModel) BoostWeighted(progs [][][]float64, y, progWeight []float64, 
 		return
 	}
 	pl := pool.New(c.Opts.Workers)
-	// Seed the per-row predictions with the existing ensemble, then run
-	// the standard boosting recurrence over the new rows only.
+	// Seed the per-row predictions with the existing ensemble (via the
+	// flattened slab — same per-tree accumulation order as the pointer
+	// walk), then run the standard boosting recurrence over the new rows
+	// only.
 	pred := make([]float64, len(rows))
 	pl.Map(len(rows), func(i int) {
-		var s float64
-		for _, t := range prev {
-			s += c.Opts.LearningRate * t.predict(rows[i])
-		}
-		pred[i] = s
+		pred[i] = prevEns.flat.scoreStmt(rows[i])
 	})
 	target := make([]float64, len(rows))
 	weight := make([]float64, len(rows))
@@ -412,19 +439,34 @@ func (c *CostModel) BoostWeighted(progs [][][]float64, y, progWeight []float64, 
 		}
 		boosted = append(boosted, t)
 	}
-	c.mu.Lock()
-	c.trees = boosted
-	c.mu.Unlock()
+	c.swap(boosted)
 }
 
 // NumTrees returns the current ensemble size (0 when untrained). Policy
 // uses it to bound Boost growth against Opts.MaxTrees.
-func (c *CostModel) NumTrees() int { return len(c.snapshot()) }
+func (c *CostModel) NumTrees() int { return len(c.treeSnapshot()) }
 
 // Score returns the model's predicted fitness (higher = faster) for a
-// program given its per-statement features.
+// program given its per-statement features. It walks the flattened slab
+// ensemble; per statement the accumulation order over trees is identical
+// to the pointer-tree path, so scores are bit-for-bit equal (see
+// flat.go).
 func (c *CostModel) Score(stmts [][]float64) float64 {
-	trees := c.snapshot()
+	e := c.snapshot()
+	if e == nil {
+		return 0
+	}
+	var s float64
+	for _, st := range stmts {
+		s = e.flat.addStmt(s, st)
+	}
+	return s
+}
+
+// scoreTrees is the reference pointer-tree score path, kept for the
+// flat-vs-tree equivalence property test and the old-vs-new benchmark.
+func (c *CostModel) scoreTrees(stmts [][]float64) float64 {
+	trees := c.treeSnapshot()
 	var s float64
 	for _, st := range stmts {
 		for _, t := range trees {
@@ -447,7 +489,7 @@ func (c *CostModel) Fingerprint() uint64 {
 		binary.LittleEndian.PutUint64(buf[:], v)
 		_, _ = h.Write(buf[:])
 	}
-	trees := c.snapshot()
+	trees := c.treeSnapshot()
 	w64(uint64(len(trees)))
 	for _, t := range trees {
 		w64(uint64(len(t.nodes)))
@@ -469,11 +511,11 @@ func (c *CostModel) Fingerprint() uint64 {
 // ScoreStmt returns the per-statement score (used by node-based crossover
 // to pick the better parent per node, §5.1).
 func (c *CostModel) ScoreStmt(stmt []float64) float64 {
-	var s float64
-	for _, t := range c.snapshot() {
-		s += c.Opts.LearningRate * t.predict(stmt)
+	e := c.snapshot()
+	if e == nil {
+		return 0
 	}
-	return s
+	return e.flat.scoreStmt(stmt)
 }
 
 // ---- Ranking metrics (Figure 3) ----
