@@ -24,6 +24,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/ir"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/regserver"
 	"repro/internal/sched"
@@ -195,6 +196,24 @@ type TuningOptions struct {
 	// of measure.Log.Compact — deterministic either way, so a limited
 	// warm start is reproducible.
 	WarmStartLimit int
+	// EventsTo streams the structured tuning narration as JSONL to this
+	// destination: a file path (appended, created if missing) or the
+	// literal "stderr". Every lifecycle point of the run emits one typed,
+	// versioned obs.Event line — task and round boundaries, search
+	// phases, scheduler waves, model training, best improvements,
+	// warm-start summaries, and (on fleet runs) the per-batch
+	// queued→leased→measured→reported timeline joined by trace IDs.
+	// Events are narration, never inputs: the sink is bounded and
+	// drop-on-full, so a run with events enabled is bit-identical to one
+	// without (pinned by tests). Empty disables events.
+	EventsTo string
+	// Observer overrides the events/metrics plumbing wholesale: when
+	// set, EventsTo is ignored and the run narrates into this observer's
+	// sink and registry (which the caller owns and closes). Tests use it
+	// to capture events in memory and pin timestamps via the observer's
+	// injected clock; embedding applications use it to aggregate many
+	// runs into one metrics registry.
+	Observer *obs.Observer
 	// CheckpointPath persists the task scheduler's gradient state
 	// (sched.Checkpoint) for network tuning: TuneNetwork writes the
 	// checkpoint here after the run, and — when ResumeFrom is set and
@@ -244,6 +263,28 @@ type Tuner struct {
 	measurer measure.Interface
 	recorder *measure.Recorder
 	logFile  *os.File
+	obsv     *obs.Observer
+	// ownedSink is the event sink the tuner opened from EventsTo (nil
+	// when events are off or the caller supplied the Observer); Close
+	// drains and closes it.
+	ownedSink obs.Sink
+}
+
+// buildObserver resolves the options' observability plumbing: the
+// caller's Observer verbatim, a fresh observer over an EventsTo sink
+// (returned for the caller to close), or nil for observability off.
+func buildObserver(opts TuningOptions) (*obs.Observer, obs.Sink, error) {
+	if opts.Observer != nil {
+		return opts.Observer, nil, nil
+	}
+	if opts.EventsTo == "" {
+		return nil, nil, nil
+	}
+	sink, err := obs.OpenSink(opts.EventsTo)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ansor: events to %s: %w", opts.EventsTo, err)
+	}
+	return obs.New(sink, obs.NewRegistry()), sink, nil
 }
 
 // newMeasurer builds the run's measurement surface: the in-process
@@ -253,7 +294,7 @@ type Tuner struct {
 // fresh record to the registry server. The returned recorder and log
 // sink (both possibly nil) are owned by the caller, which must close
 // them.
-func newMeasurer(target Target, opts TuningOptions, cal *measure.Calibration) (measure.Interface, *measure.Recorder, *os.File, error) {
+func newMeasurer(target Target, opts TuningOptions, cal *measure.Calibration, obsv *obs.Observer) (measure.Interface, *measure.Recorder, *os.File, error) {
 	rec, cache, f, err := measure.OpenPersistence(opts.RecordTo, opts.ResumeFrom)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("ansor: %w", err)
@@ -276,6 +317,7 @@ func newMeasurer(target Target, opts TuningOptions, cal *measure.Calibration) (m
 		rm.Recorder = rec
 		rm.Cache = cache
 		rm.Calibration = cal
+		rm.Obs = obsv
 		if err := rm.Ping(); err != nil {
 			if rec != nil {
 				rec.Close()
@@ -337,14 +379,18 @@ func openWarmSource(opts TuningOptions) (warm.Source, error) {
 // records. Replay failures are errors: a warm-start source from a
 // drifted workload definition should fail loudly, like ApplyHistoryBest
 // does, instead of silently starting cold.
-func warmStartPolicy(pol *policy.Policy, src warm.Source, taskName, targetName string, pooled *measure.Calibration) error {
+func warmStartPolicy(pol *policy.Policy, src warm.Source, taskName, targetName string, pooled *measure.Calibration, obsv *obs.Observer) error {
 	recs, err := warm.RecordsCalibrated(src, taskName, targetName, pooled)
 	if err != nil {
 		return fmt.Errorf("ansor: warm start task %s: %w", taskName, err)
 	}
-	if _, err := pol.WarmStartWeighted(recs); err != nil {
+	n, err := pol.WarmStartWeighted(recs)
+	if err != nil {
 		return fmt.Errorf("ansor: warm start task %s: %w", taskName, err)
 	}
+	native, transfer := warm.Stats(recs)
+	obsv.Emit(obs.Event{Type: obs.EvWarmStart, Task: taskName, Target: targetName, Count: n,
+		Detail: fmt.Sprintf("native=%d transfer=%d source=%s", native, transfer, src.Name())})
 	return nil
 }
 
@@ -352,12 +398,19 @@ func warmStartPolicy(pol *policy.Policy, src warm.Source, taskName, targetName s
 // generation) eagerly and fails if the DAG is invalid.
 func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 	opts.defaults()
+	obsv, ownedSink, err := buildObserver(opts)
+	if err != nil {
+		return nil, err
+	}
 	cal, err := pooledCalibration(task.Target, opts)
 	if err != nil {
 		return nil, err
 	}
-	ms, rec, f, err := newMeasurer(task.Target, opts, cal)
+	ms, rec, f, err := newMeasurer(task.Target, opts, cal, obsv)
 	if err != nil {
+		if ownedSink != nil {
+			ownedSink.Close()
+		}
 		return nil, err
 	}
 	cleanup := func() {
@@ -366,6 +419,9 @@ func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 		}
 		if f != nil {
 			f.Close()
+		}
+		if ownedSink != nil {
+			ownedSink.Close()
 		}
 	}
 	popts := policy.DefaultOptions()
@@ -378,18 +434,20 @@ func NewTuner(task Task, opts TuningOptions) (*Tuner, error) {
 		cleanup()
 		return nil, fmt.Errorf("ansor: %w", err)
 	}
+	pol.Obs = obsv
 	warmSrc, err := openWarmSource(opts)
 	if err != nil {
 		cleanup()
 		return nil, err
 	}
 	if warmSrc != nil {
-		if err := warmStartPolicy(pol, warmSrc, task.Name, task.Target.Machine.Name, cal); err != nil {
+		if err := warmStartPolicy(pol, warmSrc, task.Name, task.Target.Machine.Name, cal, obsv); err != nil {
 			cleanup()
 			return nil, err
 		}
 	}
-	return &Tuner{task: task, opts: opts, pol: pol, measurer: ms, recorder: rec, logFile: f}, nil
+	return &Tuner{task: task, opts: opts, pol: pol, measurer: ms, recorder: rec, logFile: f,
+		obsv: obsv, ownedSink: ownedSink}, nil
 }
 
 // Close flushes and closes the tuning log (if RecordTo was set), flushes
@@ -411,6 +469,14 @@ func (t *Tuner) Close() error {
 		}
 		t.logFile = nil
 	}
+	if t.ownedSink != nil {
+		// Drain the event stream; a sink write failure surfaces here like
+		// a tuning-log one (the search itself never waited on it).
+		if serr := t.ownedSink.Close(); err == nil {
+			err = serr
+		}
+		t.ownedSink = nil
+	}
 	return err
 }
 
@@ -425,7 +491,11 @@ func (t *Tuner) Tune() (Program, error) {
 	if t.opts.ApplyHistoryBest != "" {
 		return t.ApplyBest()
 	}
+	t.obsv.Emit(obs.Event{Type: obs.EvTaskStart, Task: t.task.Name,
+		Target: t.task.Target.Machine.Name, Trials: t.opts.Trials})
 	t.pol.Tune(t.opts.Trials, t.opts.MeasuresPerRound)
+	t.obsv.Emit(obs.Event{Type: obs.EvTaskEnd, Task: t.task.Name,
+		Target: t.task.Target.Machine.Name, Seconds: t.pol.BestTime, Trials: t.pol.Trials})
 	return t.Best()
 }
 
@@ -568,12 +638,22 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 	if opts.ApplyHistoryBest != "" {
 		return applyNetworkBest(net, target, opts.ApplyHistoryBest)
 	}
-	cal, err := pooledCalibration(target, opts)
+	obsv, ownedSink, err := buildObserver(opts)
 	if err != nil {
 		return NetworkResult{}, err
 	}
-	ms, recorder, logFile, err := newMeasurer(target, opts, cal)
+	cal, err := pooledCalibration(target, opts)
 	if err != nil {
+		if ownedSink != nil {
+			ownedSink.Close()
+		}
+		return NetworkResult{}, err
+	}
+	ms, recorder, logFile, err := newMeasurer(target, opts, cal, obsv)
+	if err != nil {
+		if ownedSink != nil {
+			ownedSink.Close()
+		}
 		return NetworkResult{}, err
 	}
 	defer func() {
@@ -582,6 +662,9 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 		}
 		if logFile != nil {
 			logFile.Close()
+		}
+		if ownedSink != nil {
+			ownedSink.Close()
 		}
 	}()
 	warmSrc, err := openWarmSource(opts)
@@ -603,11 +686,14 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 		if err != nil {
 			return NetworkResult{}, fmt.Errorf("ansor: task %s: %w", task.Name, err)
 		}
+		p.Obs = obsv
 		if warmSrc != nil {
-			if err := warmStartPolicy(p, warmSrc, task.Name, target.Machine.Name, cal); err != nil {
+			if err := warmStartPolicy(p, warmSrc, task.Name, target.Machine.Name, cal, obsv); err != nil {
 				return NetworkResult{}, err
 			}
 		}
+		obsv.Emit(obs.Event{Type: obs.EvTaskStart, Task: task.Name,
+			Target: target.Machine.Name, Trials: opts.Trials})
 		pols = append(pols, p)
 		tuners = append(tuners, &netTuner{
 			p: p, perRound: opts.MeasuresPerRound, tag: task.Tag, flops: dag.TotalFlops(),
@@ -618,6 +704,7 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 	sopts := sched.DefaultOptions()
 	sopts.Workers = opts.Workers
 	s := sched.New(tuners, sched.F1{DNNs: []sched.DNN{dnn}}, sopts)
+	s.Obs = obsv
 	// A resumed run re-executes from round one with cached measurements;
 	// the checkpoint written by the interrupted run lets us VERIFY the
 	// replay passed through exactly the recorded state instead of
@@ -658,6 +745,8 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 	for i, t := range tuners {
 		g[i] = t.BestLatency()
 		res.TaskLatencies[net.Tasks[i].Name] = g[i]
+		obsv.Emit(obs.Event{Type: obs.EvTaskEnd, Task: net.Tasks[i].Name,
+			Target: target.Machine.Name, Seconds: g[i], Trials: pols[i].Trials})
 	}
 	res.Latency = dnn.Latency(g)
 	if math.IsInf(res.Latency, 1) {
@@ -682,6 +771,13 @@ func TuneNetwork(net Network, target Target, opts TuningOptions) (NetworkResult,
 		logFile = nil
 		if err := f.Close(); err != nil {
 			return res, fmt.Errorf("ansor: tuning log: %w", err)
+		}
+	}
+	if ownedSink != nil {
+		s := ownedSink
+		ownedSink = nil
+		if err := s.Close(); err != nil {
+			return res, fmt.Errorf("ansor: events: %w", err)
 		}
 	}
 	return res, nil

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/regserver"
 )
@@ -43,6 +44,7 @@ func main() {
 		warmStart = flag.String("warm-start", "", "warm-start the Ansor runs (baselines stay cold) from tuning history: a log/registry file, a registry server URL (task-filtered fleet history), the literal 'registry' for the -registry-url server, or a comma-separated mix; NOTE this deliberately changes Ansor's results, unlike -resume")
 		wsLimit   = flag.Int("warm-start-limit", 0, "cap the records each warm-start source contributes per task, subsampled training-representatively (top-k fastest + slow tail); 0 = unbounded")
 		fleetURL  = flag.String("fleet-url", "", "measure on a distributed worker fleet via this broker (ansor-registry fleet) instead of in-process; figures are bit-identical either way")
+		events    = flag.String("events", "", "stream the Ansor searches' structured JSONL narration (round/phase events, model training, best improvements, fleet batch timelines) to this file path or the literal 'stderr'; non-blocking and drop-on-full, so figures are bit-identical with or without it")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file; the search phases are pprof-labeled, so `go tool pprof -tagfocus phase=score` isolates one stage")
 		memProfile = flag.String("memprofile", "", "write an allocation profile (live heap + cumulative allocs) to this file at exit")
@@ -120,6 +122,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ansor-bench: fleet %s: %v\n", *fleetURL, err)
 		os.Exit(1)
 	}
+	var eventSink obs.Sink
+	if *events != "" {
+		eventSink, err = obs.OpenSink(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ansor-bench: -events %s: %v\n", *events, err)
+			os.Exit(1)
+		}
+		cfg.Obs = obs.New(eventSink, obs.NewRegistry())
+	}
 	// closeLog flushes the tuning log (and any registry publishing) and
 	// reports whether it is intact; a log with dropped records must fail
 	// the process, or scripts would resume from a silently truncated
@@ -147,6 +158,13 @@ func main() {
 		if err := cfg.FleetErr(); err != nil {
 			fmt.Fprintf(os.Stderr, "ansor-bench: fleet: %v\n", err)
 			ok = false
+		}
+		if eventSink != nil {
+			if err := eventSink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ansor-bench: events: %v\n", err)
+				ok = false
+			}
+			eventSink = nil
 		}
 		return ok
 	}

@@ -22,7 +22,15 @@
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -apply-best registry
 //	ansor-tune -workload GMM.s1 -registry-url http://127.0.0.1:8421 -warm-start registry
 //	ansor-bench -apply-best http://127.0.0.1:8421   # print the server's registry
-//	curl http://127.0.0.1:8421/metrics              # registry health
+//	curl http://127.0.0.1:8421/metrics              # registry health (JSON)
+//	curl http://127.0.0.1:8421/metrics/prom         # Prometheus text exposition
+//	curl http://127.0.0.1:8521/metrics/prom         # broker metrics, same format
+//
+// Both verbs serve their /metrics JSON payload in Prometheus text
+// exposition too, at /metrics/prom or /metrics?format=prometheus; the
+// broker additionally narrates fleet lifecycle events (batch leased /
+// measured, lease requeues, quarantines) as JSONL via fleet -events
+// (DESIGN.md, "Observability").
 //
 // The store file is append-durable: every record that improves the
 // registry is appended immediately (the measure.Recorder semantics of
@@ -48,6 +56,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/regserver"
 )
 
@@ -114,6 +123,7 @@ func runFleet(ctx context.Context, args []string, stdout, stderr io.Writer, onRe
 		maxDist     = fs.Int("max-dispatch-distance", 1, "largest target distance near-sibling dispatch may bridge when a worker's native queue is idle: 0 = exact target match only, 1 = same core family with a different vector ISA (e.g. avx2 <-> avx512), 2 = same device class; CPU <-> GPU never transfers. Each grant uses min(broker, worker)")
 		leaseTarget = fs.Duration("lease-target", 2*time.Second, "size each lease so the worker finishes it in about this long, from its observed programs/sec EWMA — fast workers take bigger bites, slow ones smaller (0 = fixed -capacity-sized leases)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/heap profiles; token-free, off when empty")
+		events      = fs.String("events", "", "stream the broker's fleet lifecycle events as JSONL to this file path or the literal 'stderr': batch_leased, batch_measured, fleet_requeue, fleet_quarantine, joined to submitters' timelines by trace IDs; non-blocking and drop-on-full, off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +146,14 @@ func runFleet(ctx context.Context, args []string, stdout, stderr io.Writer, onRe
 	b.AuthToken = *authToken
 	b.MaxDispatchDistance = *maxDist
 	b.LeaseTarget = *leaseTarget
+	if *events != "" {
+		sink, err := obs.OpenSink(*events)
+		if err != nil {
+			return fmt.Errorf("fleet: -events %s: %w", *events, err)
+		}
+		defer sink.Close()
+		b.Obs.Events = sink
+	}
 	fmt.Fprintf(stdout, "ansor-registry: measurement broker listening on %s (lease TTL %s, quarantine after %d failures, dispatch distance <= %d, lease target %s)\n",
 		ln.Addr(), *leaseTTL, *maxFailures, *maxDist, *leaseTarget)
 	hs := &http.Server{Handler: b.Handler()}

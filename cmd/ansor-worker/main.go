@@ -30,6 +30,14 @@
 // hosted model instead and tagged with the clock's name, which makes the
 // submitting run calibrate the time and keep it training-only (see
 // DESIGN.md, "Heterogeneous fleet").
+//
+// The worker's own side of the fleet is observable: -metrics-addr
+// serves /metrics (JSON: leases taken, programs measured, sibling
+// grants, program errors, quarantine state), /metrics/prom (Prometheus
+// text exposition; also /metrics?format=prometheus) and /healthz, and
+// -events streams worker_lease/worker_result JSONL events that join the
+// submitting run's per-batch timeline through the trace IDs echoed on
+// lease grants (DESIGN.md, "Observability").
 package main
 
 import (
@@ -45,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/regserver"
 	"repro/internal/sim"
 )
@@ -97,15 +106,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ansor-worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		broker    = fs.String("broker", "http://127.0.0.1:8521", "measurement broker URL (ansor-registry fleet); a bearer token may be embedded as http://:TOKEN@host")
-		target    = fs.String("target", "intel", "hosted machine model: intel, intel-avx512, arm, gpu, or a model name like intel-20c-avx2")
-		capacity  = fs.Int("capacity", 4, "programs per lease: how much of a batch this worker takes in one bite")
-		seed      = fs.Int64("seed", 1, "worker identity seed: distinguishes workers of the same target in the broker's failure accounting (give every worker of a fleet a distinct seed); measurement itself is seed-free")
-		id        = fs.String("id", "", "explicit worker id (default <target>-w<seed>)")
-		poll      = fs.Duration("poll", 25*time.Millisecond, "pacing delay between lease polls when long-polling is off or unsupported by the broker")
-		leaseWait = fs.Duration("lease-wait", 10*time.Second, "broker-side long-poll per lease request: an idle worker blocks at the broker and starts measuring the instant work arrives (negative = classic interval polling)")
-		maxDist   = fs.Int("max-dispatch-distance", 1, "largest target distance this worker volunteers for when its native queue is idle: 0 = exact target only, 1 = same core family with a different vector ISA (e.g. avx2 <-> avx512); the broker caps it with its own -max-dispatch-distance")
-		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/heap profiles; token-free, off when empty")
+		broker      = fs.String("broker", "http://127.0.0.1:8521", "measurement broker URL (ansor-registry fleet); a bearer token may be embedded as http://:TOKEN@host")
+		target      = fs.String("target", "intel", "hosted machine model: intel, intel-avx512, arm, gpu, or a model name like intel-20c-avx2")
+		capacity    = fs.Int("capacity", 4, "programs per lease: how much of a batch this worker takes in one bite")
+		seed        = fs.Int64("seed", 1, "worker identity seed: distinguishes workers of the same target in the broker's failure accounting (give every worker of a fleet a distinct seed); measurement itself is seed-free")
+		id          = fs.String("id", "", "explicit worker id (default <target>-w<seed>)")
+		poll        = fs.Duration("poll", 25*time.Millisecond, "pacing delay between lease polls when long-polling is off or unsupported by the broker")
+		leaseWait   = fs.Duration("lease-wait", 10*time.Second, "broker-side long-poll per lease request: an idle worker blocks at the broker and starts measuring the instant work arrives (negative = classic interval polling)")
+		maxDist     = fs.Int("max-dispatch-distance", 1, "largest target distance this worker volunteers for when its native queue is idle: 0 = exact target only, 1 = same core family with a different vector ISA (e.g. avx2 <-> avx512); the broker caps it with its own -max-dispatch-distance")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/heap profiles; token-free, off when empty")
+		metricsAddr = fs.String("metrics-addr", "", "serve the worker's observability endpoints on this address (e.g. localhost:8531): /metrics (JSON: leases taken, programs measured, sibling grants, program errors, quarantine state), /metrics/prom or /metrics?format=prometheus (Prometheus text exposition), and /healthz; off when empty")
+		events      = fs.String("events", "", "stream structured JSONL lifecycle events (worker_lease, worker_result) to this file path or the literal \"stderr\"; non-blocking and drop-on-full, off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,6 +140,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	w.PollInterval = *poll
 	w.LeaseWait = *leaseWait
 	w.MaxDistance = *maxDist
+	if *events != "" {
+		sink, err := obs.OpenSink(*events)
+		if err != nil {
+			return fmt.Errorf("-events %s: %w", *events, err)
+		}
+		defer sink.Close()
+		w.Obs.Events = sink
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, w.MetricsHandler()); err != nil {
+				fmt.Fprintf(stderr, "ansor-worker: metrics server: %v\n", err)
+			}
+		}()
+	}
 	if err := w.Ping(); err != nil {
 		return err
 	}

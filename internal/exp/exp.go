@@ -17,6 +17,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/fleet"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/regserver"
 	"repro/internal/sched"
@@ -74,6 +75,11 @@ type Config struct {
 	// without it — the fleet changes where the machine model runs, never
 	// what it returns.
 	FleetURL string
+	// Obs narrates every Ansor search the experiments run (round and
+	// phase events, latency histograms, fleet batch timelines) into one
+	// shared observer. Nil is off; figures are bit-identical either way
+	// (events are narration, never inputs).
+	Obs *obs.Observer
 
 	// warmSrc is the resolved WarmStart source, shared by every figure
 	// run off this config.
@@ -177,6 +183,7 @@ func (c Config) measurer(m *sim.Machine, seed int64) measure.Interface {
 		rm.Workers = c.Workers
 		rm.Recorder = c.Recorder
 		rm.Cache = c.Cache
+		rm.Obs = c.Obs
 		if c.fleetMs != nil {
 			c.fleetMs.mu.Lock()
 			c.fleetMs.ms = append(c.fleetMs.ms, rm)
@@ -305,6 +312,7 @@ func searchFramework(fw Framework, name string, d *te.DAG, plat Platform, cfg Co
 		if err != nil {
 			return math.Inf(1)
 		}
+		p.Obs = cfg.Obs
 		if err := cfg.warmStart(p, plat.Machine.Name); err != nil {
 			// Inf means "framework unsupported here"; a broken warm-start
 			// source is infrastructure failure and must not be recorded
@@ -412,6 +420,7 @@ func netTaskPolicies(net workloads.Network, plat Platform, cfg Config,
 		if err != nil {
 			return nil, fmt.Errorf("task %s: %w", task.Name, err)
 		}
+		p.Obs = cfg.Obs
 		out = append(out, p)
 	}
 	return out, nil

@@ -87,6 +87,7 @@ func TuneNetworks(nets []workloads.Network, plat Platform, cfg Config,
 				if err != nil {
 					panic(err)
 				}
+				p.Obs = cfg.Obs
 				// Only the full-space Ansor variants warm-start; the
 				// restricted ablation variants stay cold baselines.
 				if variant == VariantAnsor || variant == VariantNoTaskScheduler {

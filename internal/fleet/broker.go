@@ -10,10 +10,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/regserver"
 	"repro/internal/te"
 )
@@ -79,6 +79,15 @@ type Broker struct {
 	// 0 (the default) grants exactly the requested capacity.
 	LeaseTarget time.Duration
 
+	// Obs carries the broker's counters and lease-wait histogram
+	// (Obs.Metrics — the JSON /metrics payload and the Prometheus
+	// exposition are both rendered from one snapshot of it) and, when a
+	// sink is attached, the fleet lifecycle events: batch_leased,
+	// batch_measured, fleet_requeue, fleet_quarantine. NewBroker
+	// installs an events-off observer over a fresh registry; replace or
+	// augment it before the handler serves traffic. Never nil.
+	Obs *obs.Observer
+
 	// now is the broker's clock for lease deadlines, expiry reaping and
 	// the throughput EWMA; tests inject a fake to drive expiry without
 	// sleeping (long-poll request holds and uptime stay wall-clock).
@@ -97,28 +106,32 @@ type Broker struct {
 	// closes and replaces it, waking every blocked lease and job poll.
 	notify chan struct{}
 
-	submitted       int64
-	completedJobs   int64
-	expiries        int64
-	dups            int64
-	leaseWakeups    int64
-	jobsBinary      int64
-	jobsJSON        int64
-	transcodes      int64
-	siblingLeases   int64
-	siblingPrograms int64
-
-	bytesIn  atomic.Int64
-	bytesOut atomic.Int64
-
 	started time.Time
 	mux     *http.ServeMux
 }
+
+// count resolves one of the broker's named counters from its observer's
+// registry. Lookups happen per request, not per program, so the map hit
+// is noise next to the HTTP handling around it — and it keeps the
+// counters live through a test swapping b.Obs for a shared observer.
+func (b *Broker) count(name string) *obs.Counter {
+	if b.Obs == nil || b.Obs.Metrics == nil {
+		return discardCounter
+	}
+	return b.Obs.Metrics.Counter(name)
+}
+
+// discardCounter absorbs bumps when a caller nilled the observer out.
+var discardCounter = &obs.Counter{}
 
 type job struct {
 	id     string
 	target string
 	task   string
+	// trace is the submitter's batch trace ID, echoed on grants and
+	// events; submitted stamps arrival for the lease-wait histogram.
+	trace     string
+	submitted time.Time
 	// Exactly one of dag (JSON) / dagBin (binary codec) is set at
 	// submission; dagJSON caches the binary→JSON transcode the first
 	// time a legacy JSON-only worker leases this job.
@@ -173,6 +186,7 @@ func NewBroker() *Broker {
 		notify:              make(chan struct{}),
 		started:             time.Now(),
 		now:                 time.Now,
+		Obs:                 obs.New(nil, obs.NewRegistry()),
 	}
 	b.routes()
 	return b
@@ -187,8 +201,8 @@ func (b *Broker) Handler() http.Handler {
 		r.Body = cr
 		cw := &countingWriter{ResponseWriter: w}
 		b.mux.ServeHTTP(cw, r)
-		b.bytesIn.Add(cr.n)
-		b.bytesOut.Add(cw.n)
+		b.count("bytes_in").Add(cr.n)
+		b.count("bytes_out").Add(cw.n)
 	})
 }
 
@@ -243,6 +257,7 @@ func (b *Broker) routes() {
 	b.mux.HandleFunc("/v1/lease", b.handleLease)
 	b.mux.HandleFunc("/v1/results", b.handleResults)
 	b.mux.HandleFunc("/metrics", b.handleMetrics)
+	b.mux.HandleFunc("/metrics/prom", b.handleMetrics)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -285,17 +300,23 @@ func (b *Broker) reapLocked(now time.Time) {
 				continue
 			}
 			delete(j.leases, id)
-			b.expiries++
+			b.count("lease_expiries").Inc()
+			back := 0
 			for _, idx := range l.indices {
 				if !j.results[idx].Done {
 					j.queue = append(j.queue, idx)
+					back++
 					requeued = true
 				}
 			}
+			b.Obs.Emit(obs.Event{Type: obs.EvFleetRequeue, Job: j.id, Trace: j.trace,
+				Task: j.task, Worker: l.worker, Count: back})
 			if ws := b.workers[l.worker]; ws != nil {
 				ws.failures++
-				if b.MaxFailures > 0 && ws.failures >= b.MaxFailures {
+				if b.MaxFailures > 0 && ws.failures >= b.MaxFailures && !ws.quarantined {
 					ws.quarantined = true
+					b.Obs.Emit(obs.Event{Type: obs.EvQuarantine, Worker: ws.id,
+						Detail: fmt.Sprintf("failures=%d", ws.failures)})
 				}
 			}
 		}
@@ -360,21 +381,23 @@ func (b *Broker) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	b.mu.Lock()
 	b.nextJob++
-	b.submitted++
+	b.count("jobs_submitted").Inc()
 	if hasBin {
-		b.jobsBinary++
+		b.count("jobs_binary_dag").Inc()
 	} else {
-		b.jobsJSON++
+		b.count("jobs_json_dag").Inc()
 	}
 	j := &job{
-		id:       fmt.Sprintf("job-%d", b.nextJob),
-		target:   spec.Target,
-		task:     spec.Task,
-		dag:      spec.DAG,
-		dagBin:   spec.DAGBin,
-		programs: spec.Programs,
-		results:  make([]UnitResult, len(spec.Programs)),
-		leases:   map[int64]*lease{},
+		id:        fmt.Sprintf("job-%d", b.nextJob),
+		target:    spec.Target,
+		task:      spec.Task,
+		trace:     spec.Trace,
+		submitted: b.now(),
+		dag:       spec.DAG,
+		dagBin:    spec.DAGBin,
+		programs:  spec.Programs,
+		results:   make([]UnitResult, len(spec.Programs)),
+		leases:    map[int64]*lease{},
 	}
 	j.queue = make([]int, len(spec.Programs))
 	for i := range j.queue {
@@ -517,7 +540,7 @@ func (b *Broker) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		if grant, ok := b.tryLeaseLocked(req); ok {
 			if waited {
-				b.leaseWakeups++
+				b.count("lease_wakeups").Inc()
 			}
 			b.mu.Unlock()
 			writeJSON(w, http.StatusOK, grant)
@@ -602,12 +625,19 @@ func (b *Broker) tryLeaseLocked(req LeaseRequest) (LeaseGrant, bool) {
 		granted:  now,
 	}
 	j.leases[l.id] = l
+	detail := ""
 	if dist > 0 {
-		b.siblingLeases++
-		b.siblingPrograms += int64(len(indices))
+		b.count("sibling_leases").Inc()
+		b.count("sibling_programs").Add(int64(len(indices)))
+		detail = fmt.Sprintf("sibling dist=%d from=%s", dist, req.Target)
 	}
+	// Lease wait is submit→grant: how long the batch's work sat queued
+	// before a worker picked (this slice of) it up.
+	b.Obs.Observe("lease_wait_seconds", now.Sub(j.submitted).Seconds())
+	b.Obs.Emit(obs.Event{Type: obs.EvBatchLeased, Job: j.id, Trace: j.trace, Task: j.task,
+		Target: j.target, Worker: req.Worker, Count: len(indices), Detail: detail})
 	grant := LeaseGrant{
-		Lease: l.id, Job: j.id, Task: j.task, Target: j.target,
+		Lease: l.id, Job: j.id, Task: j.task, Trace: j.trace, Target: j.target,
 		Indices: indices,
 	}
 	switch {
@@ -617,7 +647,7 @@ func (b *Broker) tryLeaseLocked(req LeaseRequest) (LeaseGrant, bool) {
 		grant.DAGBin = j.dagBin
 	default:
 		if j.dagJSON == nil {
-			b.transcodes++
+			b.count("dag_transcodes").Inc()
 			// Cannot fail: handleSubmit decoded this exact payload.
 			d, err := te.DecodeDAGBinary(j.dagBin)
 			if err == nil {
@@ -699,7 +729,7 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 	accepted := 0
 	for _, wr := range post.Results {
 		if j.results[wr.Index].Done {
-			b.dups++
+			b.count("duplicate_results").Inc()
 			continue
 		}
 		j.results[wr.Index] = UnitResult{Done: true, Noiseless: wr.Noiseless, Err: wr.Err,
@@ -736,6 +766,12 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if accepted > 0 {
+		ev := obs.Event{Type: obs.EvBatchMeasured, Job: j.id, Trace: j.trace, Task: j.task,
+			Worker: post.Worker, Count: accepted}
+		if l != nil {
+			ev.DurMS = b.now().Sub(l.granted).Seconds() * 1000
+		}
+		b.Obs.Emit(ev)
 		// Progress (possibly completion): wake blocked job long-polls.
 		b.wakeLocked()
 	}
@@ -744,7 +780,7 @@ func (b *Broker) handleResults(w http.ResponseWriter, r *http.Request) {
 	// double-count it (jobs_completed <= jobs_submitted is a dashboard
 	// invariant).
 	if !wasDone && j.done() {
-		b.completedJobs++
+		b.count("jobs_completed").Inc()
 		b.done = append(b.done, j.id)
 		max := b.MaxDoneJobs
 		if max <= 0 {
@@ -763,41 +799,73 @@ func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.reapLocked(b.now())
-	m := Metrics{
-		Jobs:             len(b.jobs),
-		JobsSubmitted:    b.submitted,
-		JobsCompleted:    b.completedJobs,
-		LeaseExpiries:    b.expiries,
-		DuplicateResults: b.dups,
-		UptimeSeconds:    time.Since(b.started).Seconds(),
-		BytesIn:          b.bytesIn.Load(),
-		BytesOut:         b.bytesOut.Load(),
-		LeaseWakeups:     b.leaseWakeups,
-		JobsBinaryDAG:    b.jobsBinary,
-		JobsJSONDAG:      b.jobsJSON,
-		DAGTranscodes:    b.transcodes,
-		SiblingLeases:    b.siblingLeases,
-		SiblingPrograms:  b.siblingPrograms,
-	}
+	// Derived per-scrape values (job/worker aggregates) become gauges in
+	// the shared registry; lifetime counters already live there. One
+	// snapshot then serves either encoding, so the JSON payload and the
+	// Prometheus exposition can never disagree.
+	queued, leased, completed := 0, 0, 0
 	for _, j := range b.jobs {
-		m.ProgramsQueued += len(j.queue)
-		m.ProgramsCompleted += j.completed
+		queued += len(j.queue)
+		completed += j.completed
 		for _, l := range j.leases {
-			m.ProgramsLeased += len(l.indices)
+			leased += len(l.indices)
 		}
 	}
+	var workers []WorkerStatus
+	quarantined := 0
 	for _, id := range sortedWorkerIDs(b.workers) {
 		ws := b.workers[id]
-		m.Workers = append(m.Workers, WorkerStatus{
+		workers = append(workers, WorkerStatus{
 			ID: ws.id, Target: ws.target, Capacity: ws.capacity,
 			Completed: ws.completed, Failures: ws.failures, Quarantined: ws.quarantined,
 			RateEWMA: ws.ewma,
 		})
 		if ws.quarantined {
-			m.Quarantined++
+			quarantined++
 		}
+	}
+	jobs := len(b.jobs)
+	b.mu.Unlock()
+
+	reg := b.Obs.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	reg.Gauge("jobs").Set(float64(jobs))
+	reg.Gauge("programs_queued").Set(float64(queued))
+	reg.Gauge("programs_leased").Set(float64(leased))
+	reg.Gauge("programs_completed").Set(float64(completed))
+	reg.Gauge("workers").Set(float64(len(workers)))
+	reg.Gauge("quarantined").Set(float64(quarantined))
+	reg.Gauge("uptime_seconds").Set(time.Since(b.started).Seconds())
+	snap := reg.Snapshot()
+
+	if r.URL.Path == "/metrics/prom" || r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WritePrometheus(w, "ansor_broker", snap)
+		return
+	}
+	m := Metrics{
+		Jobs:              jobs,
+		JobsSubmitted:     snap.Counters["jobs_submitted"],
+		JobsCompleted:     snap.Counters["jobs_completed"],
+		ProgramsQueued:    queued,
+		ProgramsLeased:    leased,
+		ProgramsCompleted: completed,
+		LeaseExpiries:     snap.Counters["lease_expiries"],
+		DuplicateResults:  snap.Counters["duplicate_results"],
+		Workers:           workers,
+		Quarantined:       quarantined,
+		UptimeSeconds:     snap.Gauges["uptime_seconds"],
+		BytesIn:           snap.Counters["bytes_in"],
+		BytesOut:          snap.Counters["bytes_out"],
+		LeaseWakeups:      snap.Counters["lease_wakeups"],
+		JobsBinaryDAG:     snap.Counters["jobs_binary_dag"],
+		JobsJSONDAG:       snap.Counters["jobs_json_dag"],
+		DAGTranscodes:     snap.Counters["dag_transcodes"],
+		SiblingLeases:     snap.Counters["sibling_leases"],
+		SiblingPrograms:   snap.Counters["sibling_programs"],
 	}
 	writeJSON(w, http.StatusOK, m)
 }

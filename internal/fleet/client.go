@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/regserver"
 	"repro/internal/te"
@@ -252,12 +253,22 @@ type RemoteMeasurer struct {
 	// dispatch too.
 	Calibration *measure.Calibration
 
+	// Obs, when set, emits batch_queued/batch_reported events for every
+	// chunk job (joined to the broker's batch_leased/batch_measured via
+	// the trace ID) and feeds the measure-batch histogram. Observability
+	// only: a nil or non-nil Obs yields bit-identical tuning output.
+	Obs *obs.Observer
+
 	cl       *Client
 	target   string
 	noiseStd float64
 	seed     int64
 
 	trials atomic.Int64
+	// traceSeq numbers this measurer's batches for JobSpec.Trace — a
+	// counter, not a clock, so enabling events never perturbs the wire
+	// bytes a deterministic run produces.
+	traceSeq atomic.Int64
 
 	negOnce sync.Once
 	binOK   bool
@@ -359,11 +370,15 @@ func (rm *RemoteMeasurer) MeasureTask(task string, states []*ir.State) []measure
 		}
 		byDAG[fp] = append(byDAG[fp], i)
 	}
+	// One trace ID per measured batch: every chunk job of this call
+	// carries it, so the event stream reassembles the batch's
+	// queued→leased→measured→reported timeline across processes.
+	trace := fmt.Sprintf("%s@%s#%d", task, rm.target, rm.traceSeq.Add(1))
 	for _, fp := range dagOrder {
 		if len(byDAG[fp]) == 0 {
 			continue // the group's DAG failed to encode; errors already set
 		}
-		rm.measureRemote(task, dagEnc[fp], useBin, byDAG[fp], enc, states, out)
+		rm.measureRemote(task, trace, dagEnc[fp], useBin, byDAG[fp], enc, states, out)
 	}
 	var fresh int64
 	for i := range out {
@@ -458,7 +473,7 @@ func (rm *RemoteMeasurer) useBinary() bool {
 // workers drain a steady queue instead of waiting for whole-batch
 // round trips. A broker failure fails that chunk's indices (the search
 // skips errored results) and latches for Err.
-func (rm *RemoteMeasurer) measureRemote(task string, dag []byte, binary bool, indices []int, enc [][]byte, states []*ir.State, out []measure.Result) {
+func (rm *RemoteMeasurer) measureRemote(task, trace string, dag []byte, binary bool, indices []int, enc [][]byte, states []*ir.State, out []measure.Result) {
 	chunk := rm.ChunkPrograms
 	if chunk == 0 {
 		chunk = 16
@@ -485,7 +500,7 @@ func (rm *RemoteMeasurer) measureRemote(task string, dag []byte, binary bool, in
 		go func(part []int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rm.runChunk(task, dag, binary, part, enc, states, out)
+			rm.runChunk(task, trace, dag, binary, part, enc, states, out)
 		}(part)
 	}
 	wg.Wait()
@@ -494,8 +509,8 @@ func (rm *RemoteMeasurer) measureRemote(task string, dag []byte, binary bool, in
 // runChunk submits one chunk job and fills its indices' results.
 // Distinct chunks write disjoint out[i] slots, so no synchronization
 // on out is needed.
-func (rm *RemoteMeasurer) runChunk(task string, dag []byte, binary bool, indices []int, enc [][]byte, states []*ir.State, out []measure.Result) {
-	spec := JobSpec{Target: rm.target, Task: task}
+func (rm *RemoteMeasurer) runChunk(task, trace string, dag []byte, binary bool, indices []int, enc [][]byte, states []*ir.State, out []measure.Result) {
+	spec := JobSpec{Target: rm.target, Task: task, Trace: trace}
 	if binary {
 		spec.DAGBin = dag
 	} else {
@@ -559,10 +574,13 @@ func (rm *RemoteMeasurer) runChunk(task string, dag []byte, binary bool, indices
 // restart mid-batch costs a retry, not the batch); the submit itself
 // and HTTP-level refusals fail immediately.
 func (rm *RemoteMeasurer) runJob(spec JobSpec) ([]UnitResult, error) {
+	queuedAt := rm.Obs.Now()
 	ack, err := rm.cl.Submit(spec)
 	if err != nil {
 		return nil, err
 	}
+	rm.Obs.Emit(obs.Event{Type: obs.EvBatchQueued, Task: spec.Task, Trace: spec.Trace,
+		Job: ack.ID, Target: spec.Target, Count: len(spec.Programs)})
 	interval := rm.PollInterval
 	if interval <= 0 {
 		interval = 10 * time.Millisecond
@@ -607,6 +625,9 @@ func (rm *RemoteMeasurer) runJob(spec JobSpec) ([]UnitResult, error) {
 			// Best-effort release; the broker's retention cap covers a
 			// lost acknowledgement.
 			_ = rm.cl.Ack(ack.ID)
+			rm.Obs.Emit(obs.Event{Type: obs.EvBatchReported, Task: spec.Task, Trace: spec.Trace,
+				Job: ack.ID, Target: spec.Target, Count: len(st.Results),
+				DurMS: rm.Obs.SinceSeconds(queuedAt) * 1000})
 			return st.Results, nil
 		}
 		if rm.Timeout > 0 && time.Now().After(deadline) {

@@ -58,6 +58,13 @@ type JobSpec struct {
 	// Task attributes the batch for observability; the broker never
 	// keys on it.
 	Task string `json:"task,omitempty"`
+	// Trace is the submitting tuner's per-batch trace ID (observability
+	// only, like Task): the broker echoes it on every lease grant and
+	// event for the job, so a JSONL event stream reconstructs each
+	// batch's queued→leased→measured→reported timeline. Deterministic —
+	// a counter scoped to the submitting measurer, never a clock. Old
+	// brokers ignore the field (unknown JSON keys); old clients omit it.
+	Trace string `json:"trace,omitempty"`
 	// DAG is the computation, wire-encoded by te.EncodeDAG (JSON).
 	DAG json.RawMessage `json:"dag,omitempty"`
 	// DAGBin is the computation in the binary wire format
@@ -114,9 +121,12 @@ type LeaseRequest struct {
 // for any program not yet completed elsewhere, but the slice is
 // requeued and the worker's failure counter bumped.
 type LeaseGrant struct {
-	Lease  int64  `json:"lease"`
-	Job    string `json:"job"`
-	Task   string `json:"task,omitempty"`
+	Lease int64  `json:"lease"`
+	Job   string `json:"job"`
+	Task  string `json:"task,omitempty"`
+	// Trace echoes the submitter's JobSpec.Trace so worker-side events
+	// join the same per-batch timeline. Empty from old brokers.
+	Trace  string `json:"trace,omitempty"`
 	Target string `json:"target"`
 	// Exactly one of DAG (JSON) and DAGBin (binary codec) is set,
 	// according to the worker's Accept list; te.DecodeDAGAuto handles

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/te"
 )
@@ -49,8 +50,18 @@ type Worker struct {
 	// on another box — and on this worker's machine otherwise, tagged
 	// with Clock so the client calibrates it and keeps it training-only.
 	MaxDistance int
+	// Obs carries the worker's metrics registry (leases, programs
+	// measured, sibling grants, program errors, quarantine state —
+	// served by MetricsHandler) and, when an event sink is attached,
+	// the worker's view of the fleet lifecycle: worker_lease and
+	// worker_result events joined to the submitter's timeline by the
+	// trace ID echoed on lease grants. NewWorker installs an events-off
+	// observer over a fresh registry; a zero Worker runs fine with it
+	// nil (all bumps are discarded).
+	Obs *obs.Observer
 
-	cl *Client
+	cl      *Client
+	started time.Time
 }
 
 // NewWorker returns a worker for the broker at brokerURL.
@@ -64,8 +75,20 @@ func NewWorker(brokerURL, id string, m *sim.Machine, capacity int) *Worker {
 		Capacity:     capacity,
 		PollInterval: 25 * time.Millisecond,
 		MaxDistance:  1,
+		Obs:          obs.New(nil, obs.NewRegistry()),
 		cl:           NewClient(brokerURL),
+		started:      time.Now(),
 	}
+}
+
+// count resolves one of the worker's named counters from its observer's
+// registry (per lease cycle, not per program — the map hit is noise
+// next to the HTTP round trip). Nil-safe for zero Workers.
+func (w *Worker) count(name string) *obs.Counter {
+	if w.Obs == nil || w.Obs.Metrics == nil {
+		return discardCounter
+	}
+	return w.Obs.Metrics.Counter(name)
 }
 
 // Ping checks the broker is reachable.
@@ -110,6 +133,12 @@ func (w *Worker) runOnce(ctx context.Context) (bool, error) {
 			clock = w.Machine.Name
 		}
 	}
+	w.count("leases_taken").Inc()
+	if measuredOn != "" {
+		w.count("sibling_grants").Inc()
+	}
+	w.Obs.Emit(obs.Event{Type: obs.EvWorkerLease, Task: grant.Task, Target: grant.Target,
+		Trace: grant.Trace, Job: grant.Job, Worker: w.ID, Count: len(grant.Indices)})
 	post := ResultPost{Worker: w.ID, Job: grant.Job, Lease: grant.Lease}
 	payload := []byte(grant.DAG)
 	if len(grant.DAGBin) > 0 {
@@ -132,9 +161,21 @@ func (w *Worker) runOnce(ctx context.Context) (bool, error) {
 			post.Results = append(post.Results, wr)
 		}
 	}
+	measured, failed := 0, 0
+	for _, r := range post.Results {
+		if r.Err == "" {
+			measured++
+		} else {
+			failed++
+		}
+	}
+	w.count("programs_measured").Add(int64(measured))
+	w.count("program_errors").Add(int64(failed))
 	if _, err := w.cl.PostResults(post); err != nil {
 		return true, err
 	}
+	w.Obs.Emit(obs.Event{Type: obs.EvWorkerResult, Task: grant.Task, Target: grant.Target,
+		Trace: grant.Trace, Job: grant.Job, Worker: w.ID, Count: len(post.Results)})
 	return true, nil
 }
 
@@ -197,6 +238,9 @@ func (w *Worker) Run(ctx context.Context) error {
 		t0 := time.Now()
 		worked, err := w.runOnce(ctx)
 		if errors.Is(err, ErrQuarantined) {
+			if w.Obs != nil && w.Obs.Metrics != nil {
+				w.Obs.Metrics.Gauge("quarantined").Set(1)
+			}
 			return err
 		}
 		if ctx.Err() != nil {

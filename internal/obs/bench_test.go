@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkEventEmit measures the cost one lifecycle event adds to the
+// search path: off = nil observer (the events-disabled fast path),
+// drop = full buffer (worst case under a stalled writer), stream = the
+// steady state through the bounded channel.
+func BenchmarkEventEmit(b *testing.B) {
+	e := Event{Type: EvPhase, Task: "mm.s1", Round: 3, Phase: "score", DurMS: 1.25}
+	b.Run("off", func(b *testing.B) {
+		var o *Observer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Emit(e)
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		s := NewStreamSink(io.Discard, 1<<16)
+		o := New(s, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Emit(e)
+		}
+		b.StopTimer()
+		s.Close()
+	})
+	b.Run("drop", func(b *testing.B) {
+		s := NewStreamSink(blockingWriter{make(chan struct{})}, 1)
+		o := New(s, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Emit(e)
+		}
+	})
+}
+
+// BenchmarkHistogramObserve measures the per-observation cost of the
+// fixed-bucket histogram (two atomic adds plus a CAS float sum).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("lease_wait_seconds", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 0.001)
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink receives events. Emit must never block the caller: the search
+// path emits inline, and the determinism contract forbids events from
+// back-pressuring it. Implementations drop (and count) when full.
+type Sink interface {
+	Emit(Event)
+	// Close flushes buffered events and returns the first write error,
+	// if any. Emits after Close are dropped.
+	Close() error
+}
+
+// StreamSink writes events as JSONL through a bounded channel serviced
+// by one writer goroutine. When the buffer is full the event is
+// dropped and counted — the emitter never waits on the writer.
+type StreamSink struct {
+	ch      chan Event
+	quit    chan struct{}
+	done    chan struct{}
+	w       io.Writer
+	dropped atomic.Int64
+	closed  atomic.Bool
+	werr    error // owned by the writer goroutine until done closes
+}
+
+// NewStreamSink starts a sink writing JSONL to w with the given buffer
+// capacity (<=0 uses 1024). Close the sink to flush; w itself is not
+// closed.
+func NewStreamSink(w io.Writer, buffer int) *StreamSink {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	s := &StreamSink{
+		ch:   make(chan Event, buffer),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+		w:    w,
+	}
+	go s.loop()
+	return s
+}
+
+func (s *StreamSink) loop() {
+	defer close(s.done)
+	bw := bufio.NewWriter(s.w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	write := func(e Event) {
+		if s.werr == nil {
+			s.werr = enc.Encode(e)
+		}
+	}
+	flush := func() {
+		if err := bw.Flush(); err != nil && s.werr == nil {
+			s.werr = err
+		}
+	}
+	for {
+		select {
+		case e := <-s.ch:
+			write(e)
+			// Flush at burst boundaries: when nothing else is already
+			// queued, push the batch out so a tailing operator sees
+			// events promptly, not at Close or every buffer-full. Under
+			// sustained load the channel stays non-empty and flushes
+			// amortize across the burst.
+			if len(s.ch) == 0 {
+				flush()
+			}
+		case <-s.quit:
+			// Drain what was buffered before Close, then flush.
+			for {
+				select {
+				case e := <-s.ch:
+					write(e)
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// Emit enqueues the event, dropping it if the buffer is full or the
+// sink is closed. Never blocks.
+func (s *StreamSink) Emit(e Event) {
+	if s.closed.Load() {
+		s.dropped.Add(1)
+		return
+	}
+	select {
+	case s.ch <- e:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Dropped returns how many events were discarded (full buffer or
+// post-close emits).
+func (s *StreamSink) Dropped() int64 { return s.dropped.Load() }
+
+// Close drains buffered events, flushes, and returns the first write
+// error. Safe to call more than once.
+func (s *StreamSink) Close() error {
+	if !s.closed.Swap(true) {
+		close(s.quit)
+	}
+	<-s.done
+	return s.werr
+}
+
+// MemorySink collects events in memory for tests.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (m *MemorySink) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far, in emit order.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// ByType returns the emitted events of one type, in emit order.
+func (m *MemorySink) ByType(typ string) []Event {
+	var out []Event
+	for _, e := range m.Events() {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Close is a no-op.
+func (m *MemorySink) Close() error { return nil }
+
+// fileSink closes the underlying file after the stream drains.
+type fileSink struct {
+	*StreamSink
+	f *os.File
+}
+
+func (s fileSink) Close() error {
+	err := s.StreamSink.Close()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// OpenSink resolves an -events flag value: "" means no sink (nil,
+// observability off), "stderr" streams JSONL to standard error, and
+// anything else appends to that file path.
+func OpenSink(spec string) (Sink, error) {
+	switch spec {
+	case "":
+		return nil, nil
+	case "stderr":
+		return NewStreamSink(os.Stderr, 0), nil
+	}
+	f, err := os.OpenFile(spec, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("events: %w", err)
+	}
+	return fileSink{NewStreamSink(f, 0), f}, nil
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/feat"
 	"repro/internal/ir"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/sketch"
 	"repro/internal/te"
@@ -104,6 +105,17 @@ type Policy struct {
 	// through: the in-process machine-model measurer, or a fleet
 	// RemoteMeasurer — search results are bit-identical either way.
 	Measurer measure.Interface
+
+	// Obs narrates the search when set: round and phase events, model
+	// training and best-improved events, and the round/phase latency
+	// histograms. Nil (the default) is observability off; either way the
+	// search output is bit-identical — events and histograms are
+	// narration, never inputs (the obs package contract).
+	Obs *obs.Observer
+
+	// round is the 1-based index of the SearchRound in flight, carried
+	// into phase and training events. Observability only.
+	round int
 
 	sketches []*ir.State
 	sampler  *anno.Sampler
@@ -210,8 +222,12 @@ func (p *Policy) Sketches() []*ir.State { return p.sketches }
 // numMeasure programs, measure them, and retrain the cost model. It
 // returns the measurement results (§5's iterative fine-tuning).
 func (p *Policy) SearchRound(numMeasure int) []measure.Result {
+	p.round = len(p.History) + 1
+	roundStart := p.Obs.Now()
+	p.Obs.Emit(obs.Event{Type: obs.EvRoundStart, Task: p.Task.Name, Round: p.round,
+		Trials: p.Trials})
 	var init []*ir.State
-	phase("sketch", func() {
+	p.phase("sketch", func() {
 		init = p.sampler.SamplePopulation(p.sketches, p.Opts.SampleInitSize)
 	})
 	for i, s := range p.bestStates {
@@ -221,6 +237,8 @@ func (p *Policy) SearchRound(numMeasure int) []measure.Result {
 		init = append(init, s)
 	}
 	if len(init) == 0 {
+		p.Obs.Emit(obs.Event{Type: obs.EvRoundEnd, Task: p.Task.Name, Round: p.round,
+			Trials: p.Trials, Detail: "space exhausted"})
 		return nil
 	}
 	// One scorer serves the whole round so programs featurized during
@@ -236,34 +254,69 @@ func (p *Policy) SearchRound(numMeasure int) []measure.Result {
 			Seed:           p.rng.Int63(),
 			Workers:        p.Opts.Workers,
 		})
-		phase("evolve", func() {
+		p.phase("evolve", func() {
 			candidates = search.Run(p.Task.DAG, init, sc, 4*numMeasure)
 		})
 	}
 	var batch []*ir.State
-	phase("score", func() { batch = p.pickBatch(sc, candidates, numMeasure) })
+	p.phase("score", func() { batch = p.pickBatch(sc, candidates, numMeasure) })
 	// Task-attributed measurement: records land in the tuning log under
 	// this task's name, and a resume cache serves exactly the records
 	// this task wrote. Cache hits cost no measurer trial but still count
 	// against the policy-local budget, so a resumed search replays the
 	// original trial accounting bit for bit.
 	var results []measure.Result
-	phase("measure", func() {
+	p.phase("measure", func() {
 		results = p.Measurer.MeasureTask(p.Task.Name, batch)
 	})
 	p.Trials += len(batch)
 	p.update(results)
+	secs := p.Obs.SinceSeconds(roundStart)
+	p.Obs.Observe("round_seconds", secs)
+	p.Obs.Emit(obs.Event{Type: obs.EvRoundEnd, Task: p.Task.Name, Round: p.round,
+		Count: len(batch), Trials: p.Trials, DurMS: secs * 1000})
 	return results
 }
+
+// PhaseNames lists the pprof-labeled search phases in execution order.
+// The observer's phase events and latency histograms cover exactly
+// these names (the evolve phase appears only once the cost model is
+// trained and fine-tuning is enabled); tests pin the correspondence.
+var PhaseNames = []string{"sketch", "evolve", "score", "measure", "train"}
 
 // phase runs fn with a pprof "phase" label so CPU and heap profiles
 // split by search stage (sketch / evolve / score / measure / train).
 // Labels propagate to goroutines started inside fn, so the sharded
-// evolution's workers are attributed to their phase too.
-func phase(name string, fn func()) {
+// evolution's workers are attributed to their phase too. With an
+// observer attached the phase is also timed into its latency histogram
+// and narrated as a phase event; timing is narration only and never
+// feeds back into the search.
+func (p *Policy) phase(name string, fn func()) {
+	t0 := p.Obs.Now()
 	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) {
 		fn()
 	})
+	if p.Obs == nil {
+		return
+	}
+	secs := p.Obs.SinceSeconds(t0)
+	p.Obs.Observe(PhaseHistogram(name), secs)
+	p.Obs.Emit(obs.Event{Type: obs.EvPhase, Task: p.Task.Name, Round: p.round,
+		Phase: name, DurMS: secs * 1000})
+}
+
+// PhaseHistogram maps a phase label to the latency histogram it feeds:
+// the measure and train phases own the measure_batch_seconds and
+// train_seconds histograms of the observability contract; the purely
+// computational phases land in phase_<name>_seconds.
+func PhaseHistogram(name string) string {
+	switch name {
+	case "measure":
+		return "measure_batch_seconds"
+	case "train":
+		return "train_seconds"
+	}
+	return "phase_" + name + "_seconds"
 }
 
 // pickBatch selects the programs to measure: mostly the best-scoring
@@ -364,6 +417,8 @@ func (p *Policy) absorbWeighted(s *ir.State, feats [][]float64, seconds, weight 
 	if seconds < p.BestTime {
 		p.BestTime = seconds
 		p.BestState = s
+		p.Obs.Emit(obs.Event{Type: obs.EvBestImproved, Task: p.Task.Name, Round: p.round,
+			Signature: s.Signature(), Seconds: seconds, Trials: p.Trials})
 	}
 	p.bestStates = append(p.bestStates, s)
 	p.bestTimes = append(p.bestTimes, seconds)
@@ -403,7 +458,7 @@ func (p *Policy) retrain() {
 	if len(p.progTimes) == 0 || p.Opts.DisableFineTuning {
 		return
 	}
-	phase("train", p.retrainModel)
+	p.phase("train", p.retrainModel)
 }
 
 func (p *Policy) retrainModel() {
@@ -417,15 +472,19 @@ func (p *Policy) retrainModel() {
 	for i, t := range p.progTimes {
 		y[i] = minT / t
 	}
+	mode := "boost"
 	switch {
 	case p.Opts.DisableIncremental, !p.model.Trained(), minT != p.lastFitMin,
 		p.model.NumTrees()+p.model.Opts.BoostTrees > p.model.Opts.MaxTrees:
+		mode = "refit"
 		p.model.FitWeighted(p.progFeats, y, p.progWeights)
 	default:
 		p.model.BoostWeighted(p.progFeats, y, p.progWeights, p.fittedProgs)
 	}
 	p.lastFitMin = minT
 	p.fittedProgs = len(p.progFeats)
+	p.Obs.Emit(obs.Event{Type: obs.EvModelTrained, Task: p.Task.Name, Round: p.round,
+		Count: len(p.progFeats), Detail: mode})
 }
 
 // WarmRecord is one source-tagged, weighted record offered to a policy's

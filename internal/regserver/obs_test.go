@@ -1,0 +1,63 @@
+package regserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsPrometheusExposition: the registry server's /metrics/prom
+// (and /metrics?format=prometheus) render the same obs snapshot as the
+// JSON payload in the Prometheus text exposition format, and the output
+// passes the format lint. The JSON payload keeps its documented fields
+// from the same snapshot, so the two encodings can never disagree.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	srv, cl := newTestServer(t)
+	for _, seconds := range []float64{1.0, 0.5} {
+		if _, err := cl.Add(rec("gmm", "cpu-a", "d1", seconds)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	for _, path := range []string{"/metrics/prom", "/metrics?format=prometheus"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+			t.Errorf("%s Content-Type = %q, want %q", path, ct, obs.PromContentType)
+		}
+		if err := obs.LintPrometheus(body); err != nil {
+			t.Errorf("%s failed the exposition-format lint: %v\n%s", path, err, body)
+		}
+	}
+
+	// The plain JSON encoding is untouched by the Prometheus form and
+	// still reflects the publishes above.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Keys != 1 || m.RecordsOffered != 2 || m.RecordsImproved != 2 {
+		t.Errorf("JSON metrics = %+v, want 1 key, 2 offered, 2 improved", m)
+	}
+}

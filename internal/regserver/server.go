@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -106,14 +107,19 @@ type Server struct {
 	now func() time.Time
 
 	// Health counters for /metrics: monotonic over the server's
-	// lifetime, cheap enough to bump on every publish.
-	offered    atomic.Int64 // records received by publish handlers
-	improved   atomic.Int64 // records that improved a key
-	pubErrors  atomic.Int64 // publishes refused with a 5xx
-	bestHits   atomic.Int64 // /v1/best served from the encoded-response cache
-	bestMisses atomic.Int64 // /v1/best that had to marshal
-	bestNotMod atomic.Int64 // /v1/best answered 304 Not Modified
-	quotaRej   atomic.Int64 // publishes refused with a 429
+	// lifetime, cheap enough to bump on every publish. They live in a
+	// shared obs registry so the JSON payload and the Prometheus
+	// exposition are built from one consistent snapshot; offered and
+	// improved are updated as a pair through om.Atomically, so no
+	// scrape can observe improved > offered.
+	om         *obs.Registry
+	offered    *obs.Counter // records received by publish handlers
+	improved   *obs.Counter // records that improved a key
+	pubErrors  *obs.Counter // publishes refused with a 5xx
+	bestHits   *obs.Counter // /v1/best served from the encoded-response cache
+	bestMisses *obs.Counter // /v1/best that had to marshal
+	bestNotMod *obs.Counter // /v1/best answered 304 Not Modified
+	quotaRej   *obs.Counter // publishes refused with a 429
 	// storeBytes tracks the durable store's size without a stat per
 	// /metrics scrape: counted up on append, re-stated once per
 	// snapshot/compact rewrite.
@@ -134,7 +140,7 @@ type Server struct {
 	// has grown past the threshold.
 	compactOver     int64
 	compactTopK     int
-	autoCompactions atomic.Int64
+	autoCompactions *obs.Counter
 }
 
 // New returns a server over an existing registry (nil = a fresh empty
@@ -148,6 +154,15 @@ func New(reg *registry.Registry) *Server {
 		reg = registry.New()
 	}
 	s := &Server{reg: reg, started: time.Now(), now: time.Now}
+	s.om = obs.NewRegistry()
+	s.offered = s.om.Counter("records_offered")
+	s.improved = s.om.Counter("records_improved")
+	s.pubErrors = s.om.Counter("publish_errors")
+	s.bestHits = s.om.Counter("best_hits")
+	s.bestMisses = s.om.Counter("best_misses")
+	s.bestNotMod = s.om.Counter("best_not_modified")
+	s.quotaRej = s.om.Counter("quota_rejections")
+	s.autoCompactions = s.om.Counter("auto_compactions")
 	s.SetBestCache(DefaultBestCacheEntries)
 	s.routes()
 	return s
@@ -337,7 +352,7 @@ func (s *Server) EnableAutoCompact(over int64, topK int) {
 
 // AutoCompactions returns how many threshold-triggered compactions have
 // run (the /metrics counter).
-func (s *Server) AutoCompactions() int64 { return s.autoCompactions.Load() }
+func (s *Server) AutoCompactions() int64 { return s.autoCompactions.Value() }
 
 // compactLocked rewrites an oversize store through Log.Compact. Callers
 // hold s.mu and have checked compactOver > 0.
@@ -436,6 +451,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/calibration", s.handleCalibration)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/prom", s.handleMetrics)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -527,10 +543,13 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	res := AddResult{Offered: len(l.Records)}
-	s.offered.Add(int64(len(l.Records)))
 	for _, rec := range l.Records {
 		improved, err := s.addDurably(rec)
 		if err != nil {
+			// The whole batch counts as offered even when persisting
+			// aborted partway; improvements of a failed batch are not
+			// reported, so they are not counted either.
+			s.om.Atomically(func() { s.offered.Add(int64(len(l.Records))) })
 			s.pubErrors.Add(1)
 			writeError(w, http.StatusInternalServerError, "persist: %v", err)
 			return
@@ -539,7 +558,14 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			res.Improved++
 		}
 	}
-	s.improved.Add(int64(res.Improved))
+	// One Atomically block per batch: a /metrics snapshot sees the
+	// batch's offered and improved together or not at all, so a scrape
+	// can never observe improved > offered (the old per-counter loads
+	// could interleave mid-batch and report exactly that).
+	s.om.Atomically(func() {
+		s.offered.Add(int64(len(l.Records)))
+		s.improved.Add(int64(res.Improved))
+	})
 	res.Keys = s.reg.Len()
 	writeJSON(w, http.StatusOK, res)
 }
@@ -710,38 +736,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET %s", r.URL.Path)
 		return
 	}
+	if r.URL.Path == "/metrics/prom" || r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WritePrometheus(w, "ansor_registry", s.obsSnapshot())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics())
 }
 
-// metrics assembles the current Metrics snapshot.
-func (s *Server) metrics() Metrics {
-	m := Metrics{
-		Keys:               s.reg.Len(),
-		RecordsOffered:     s.offered.Load(),
-		RecordsImproved:    s.improved.Load(),
-		PublishErrors:      s.pubErrors.Load(),
-		SnapshotAgeSeconds: -1,
-		StoreBytes:         s.storeBytes.Load(),
-		AutoCompactions:    s.autoCompactions.Load(),
-		BestHits:           s.bestHits.Load(),
-		BestMisses:         s.bestMisses.Load(),
-		BestNotModified:    s.bestNotMod.Load(),
-		QuotaRejections:    s.quotaRej.Load(),
-		KeysEvicted:        s.reg.Evictions(),
-		UptimeSeconds:      time.Since(s.started).Seconds(),
-	}
+// obsSnapshot mirrors the values owned by other subsystems (registry
+// size, cache evictions, clocks) into gauges and takes one consistent
+// snapshot of the obs registry. Both /metrics encodings are built from
+// it, so they can never disagree with each other or tear a
+// pair-updated counter.
+func (s *Server) obsSnapshot() obs.Snapshot {
+	s.om.Gauge("keys").Set(float64(s.reg.Len()))
+	s.om.Gauge("keys_evicted").Set(float64(s.reg.Evictions()))
+	s.om.Gauge("store_bytes").Set(float64(s.storeBytes.Load()))
+	s.om.Gauge("uptime_seconds").Set(time.Since(s.started).Seconds())
+	cacheEv := int64(0)
 	if c := s.bestCache; c != nil {
-		m.CacheEvictions = c.evictions.Load()
+		cacheEv = c.evictions.Load()
 	}
+	s.om.Gauge("cache_evictions").Set(float64(cacheEv))
 	// A scrape no longer stats the store under s.mu: the size counter is
 	// maintained on every append and re-based on snapshot/compact
 	// rewrites, so /metrics stays cheap however often it is polled.
+	age := -1.0
 	s.mu.Lock()
 	if !s.lastSnapshot.IsZero() {
-		m.SnapshotAgeSeconds = time.Since(s.lastSnapshot).Seconds()
+		age = time.Since(s.lastSnapshot).Seconds()
 	}
 	s.mu.Unlock()
-	return m
+	s.om.Gauge("snapshot_age_seconds").Set(age)
+	return s.om.Snapshot()
+}
+
+// metrics assembles the current Metrics payload from one obs snapshot.
+// The JSON field set is frozen for backward compatibility; the
+// Prometheus exposition renders the same snapshot.
+func (s *Server) metrics() Metrics {
+	snap := s.obsSnapshot()
+	return Metrics{
+		Keys:               int(snap.Gauges["keys"]),
+		RecordsOffered:     snap.Counters["records_offered"],
+		RecordsImproved:    snap.Counters["records_improved"],
+		PublishErrors:      snap.Counters["publish_errors"],
+		SnapshotAgeSeconds: snap.Gauges["snapshot_age_seconds"],
+		StoreBytes:         int64(snap.Gauges["store_bytes"]),
+		AutoCompactions:    snap.Counters["auto_compactions"],
+		BestHits:           snap.Counters["best_hits"],
+		BestMisses:         snap.Counters["best_misses"],
+		BestNotModified:    snap.Counters["best_not_modified"],
+		CacheEvictions:     int64(snap.Gauges["cache_evictions"]),
+		QuotaRejections:    snap.Counters["quota_rejections"],
+		KeysEvicted:        int64(snap.Gauges["keys_evicted"]),
+		UptimeSeconds:      snap.Gauges["uptime_seconds"],
+	}
 }
 
 // handleCalibration serves the fleet-pooled cross-target calibration

@@ -7,7 +7,9 @@ package sched
 import (
 	"math"
 	"math/rand"
+	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -204,6 +206,12 @@ type Scheduler struct {
 	Objective Objective
 	Opts      Options
 
+	// Obs narrates allocation when set: one wave_scheduled event per
+	// dispatched wave, naming the tasks it carries. Nil is off; either
+	// way allocation decisions are identical (events are narration,
+	// never inputs).
+	Obs *obs.Observer
+
 	rng  *rand.Rand
 	pool *pool.Pool
 	// history[i] is g_i after each unit allocated to task i.
@@ -256,6 +264,14 @@ func (s *Scheduler) latencies() []float64 {
 // which keeps histories and the cost curve bit-identical to serial
 // allocation for any worker count.
 func (s *Scheduler) runWave(wave []int) {
+	if s.Obs != nil && s.Obs.Events != nil {
+		names := make([]string, len(wave))
+		for k, i := range wave {
+			names[k] = s.Tasks[i].Name()
+		}
+		s.Obs.Emit(obs.Event{Type: obs.EvWaveScheduled, Count: len(wave),
+			Detail: strings.Join(names, ",")})
+	}
 	prev := make([]float64, len(wave))
 	for k, i := range wave {
 		prev[k] = s.Tasks[i].BestLatency()

@@ -315,6 +315,20 @@ func PrepareCalibrated(recs []measure.Record, workload, target, source string, p
 	return out
 }
 
+// Stats summarizes a prepared warm-start record set for the tuner's
+// warm_start event: how many records replay at native weight versus
+// arrive as calibrated, train-only transfers from sibling targets.
+func Stats(recs []policy.WarmRecord) (native, transfer int) {
+	for _, wr := range recs {
+		if wr.TrainOnly {
+			transfer++
+		} else {
+			native++
+		}
+	}
+	return native, transfer
+}
+
 // sortCanonical imposes the canonical record order preparation promises:
 // a pure function of the records' contents, independent of how the
 // source happened to order them.

@@ -1,0 +1,41 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+)
+
+// BenchmarkTuningRoundEvents measures what the observability layer adds
+// to a full search round: off = no observer (the shipped default),
+// on = a streaming JSONL sink plus the round/phase latency histograms.
+// The two are required to produce bit-identical search output (pinned
+// in ansor/); this benchmark pins the price of narration — it should be
+// lost in the noise of a round's evolve/score/measure work.
+func BenchmarkTuningRoundEvents(b *testing.B) {
+	run := func(b *testing.B, o *obs.Observer) {
+		d := convDAG()
+		ms := measure.New(sim.IntelXeon(), 0.02, 1)
+		p, err := policy.New(policy.Task{Name: "conv", DAG: d, Target: sketch.CPUTarget()},
+			policy.DefaultOptions(), ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Obs = o
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.SearchRound(16)
+		}
+	}
+	b.Run("events=off", func(b *testing.B) { run(b, nil) })
+	b.Run("events=on", func(b *testing.B) {
+		sink := obs.NewStreamSink(io.Discard, 1<<16)
+		defer sink.Close()
+		run(b, obs.New(sink, obs.NewRegistry()))
+	})
+}
